@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the FARMER hot paths.
+
+These measure the per-request mining cost the paper calls "reasonable
+overhead": the full observe() pipeline, the similarity kernels, the graph
+update and the Correlator List maintenance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FarmerConfig
+from repro.core.extractor import Extractor
+from repro.core.farmer import Farmer
+from repro.graph.correlation_graph import CorrelationGraph
+from repro.graph.correlator_list import CorrelatorList
+from repro.vsm.similarity import dpa_similarity, ipa_similarity
+from repro.vsm.vocabulary import Vocabulary
+
+
+def bench_farmer_observe_throughput(benchmark, hp_bench_trace):
+    """Full pipeline: requests mined per second (paper's overhead claim)."""
+
+    def mine():
+        farmer = Farmer()
+        for record in hp_bench_trace:
+            farmer.observe(record)
+        return farmer
+
+    farmer = benchmark.pedantic(mine, rounds=2, iterations=1)
+    assert farmer.stats().n_observed == len(hp_bench_trace)
+    per_req_us = benchmark.stats["mean"] / len(hp_bench_trace) * 1e6
+    print(f"\n[mining cost: {per_req_us:.1f} us/request]")
+
+
+def bench_extractor(benchmark, hp_bench_trace):
+    """Stage 1 alone: semantic-vector extraction."""
+    extractor = Extractor(("user", "process", "host", "path"), Vocabulary())
+    records = hp_bench_trace[:1000]
+    benchmark(lambda: [extractor.extract(r) for r in records])
+
+
+def bench_ipa_similarity(benchmark, hp_bench_trace):
+    """Function 1 (IPA) over realistic vectors."""
+    extractor = Extractor(("user", "process", "host", "path"), Vocabulary())
+    vectors = [extractor.extract(r) for r in hp_bench_trace[:200]]
+    pairs = [(vectors[i], vectors[(i * 7 + 3) % len(vectors)]) for i in range(200)]
+    benchmark(lambda: [ipa_similarity(a, b) for a, b in pairs])
+
+
+def bench_dpa_similarity(benchmark, hp_bench_trace):
+    """Function 1 (DPA) over realistic vectors."""
+    extractor = Extractor(("user", "process", "host", "path"), Vocabulary())
+    vectors = [extractor.extract(r) for r in hp_bench_trace[:200]]
+    pairs = [(vectors[i], vectors[(i * 7 + 3) % len(vectors)]) for i in range(200)]
+    benchmark(lambda: [dpa_similarity(a, b) for a, b in pairs])
+
+
+def bench_graph_observe(benchmark, hp_bench_trace):
+    """Stage 2 alone: sliding-window graph updates."""
+    fids = [r.fid for r in hp_bench_trace]
+
+    def build():
+        graph = CorrelationGraph(window=4)
+        for fid in fids:
+            graph.observe(fid)
+        return graph
+
+    graph = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert graph.n_nodes() > 0
+
+
+def bench_correlator_list_update(benchmark):
+    """Stage 3/4: threshold + sorted insert under churn."""
+    updates = [((i * 17) % 40, 0.3 + ((i * 13) % 70) / 100.0) for i in range(2000)]
+
+    def churn():
+        lst = CorrelatorList(threshold=0.4, capacity=16)
+        for fid, degree in updates:
+            lst.update(fid, degree)
+        return lst
+
+    lst = benchmark.pedantic(churn, rounds=5, iterations=1)
+    assert lst.is_sorted()

@@ -1,0 +1,205 @@
+"""Benchmarks that regenerate every table and figure of the paper.
+
+Each benchmark runs the corresponding experiment once (``pedantic`` with
+one round — these are end-to-end regenerations, not micro-benchmarks)
+and prints the paper-style table on the first round, so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the full evaluation
+section in one command.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablations, fig1, fig3, fig5, fig6, fig7, fig8
+from repro.experiments import layout_experiment, table2, table3, table4
+
+_PRINTED: set[str] = set()
+
+
+def _show(result) -> None:
+    if result.experiment_id not in _PRINTED:
+        _PRINTED.add(result.experiment_id)
+        print("\n" + result.render() + "\n")
+
+
+def bench_fig1(benchmark, bench_events, bench_seeds):
+    """Figure 1: successor predictability per attribute filter."""
+    result = benchmark.pedantic(
+        lambda: fig1.run(n_events=bench_events, seeds=bench_seeds),
+        rounds=1,
+        iterations=1,
+    )
+    _show(result)
+    for per_filter in result.data["matrix"].values():
+        valid = {k: v for k, v in per_filter.items() if v == v}
+        assert min(valid, key=valid.get) == "none"
+
+
+def bench_fig3(benchmark, bench_events, bench_seeds):
+    """Figure 3: hit ratio vs max_strength for the four weights."""
+    result = benchmark.pedantic(
+        lambda: fig3.run(
+            n_events=bench_events,
+            seeds=bench_seeds,
+            traces=("hp",),
+            thresholds=(0.2, 0.4, 0.6, 0.8),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _show(result)
+    series = result.data["matrix"]["hp"][0.7]
+    assert series[0.8] <= series[0.4]
+
+
+def bench_fig5(benchmark, bench_events, bench_seeds):
+    """Figure 5 / Table 5: attribute combinations."""
+    result = benchmark.pedantic(
+        lambda: fig5.run(n_events=bench_events, seeds=bench_seeds, traces=("hp",)),
+        rounds=1,
+        iterations=1,
+    )
+    _show(result)
+    assert len(result.data["matrix"]["hp"]) == 15
+
+
+def bench_fig6(benchmark, bench_events, bench_seeds):
+    """Figure 6: response time vs validity threshold."""
+    result = benchmark.pedantic(
+        lambda: fig6.run(
+            n_events=bench_events,
+            seeds=bench_seeds,
+            thresholds=(0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _show(result)
+    series = result.data["series"]
+    assert series[0.4] < series[1.0]
+
+
+def bench_fig7(benchmark, bench_events, bench_seeds):
+    """Figure 7: FPA vs Nexus vs LRU hit ratios on all traces."""
+    result = benchmark.pedantic(
+        lambda: fig7.run(n_events=bench_events, seeds=bench_seeds),
+        rounds=1,
+        iterations=1,
+    )
+    _show(result)
+    for trace, per_policy in result.data["matrix"].items():
+        assert per_policy["FPA"]["hit_ratio"] >= per_policy["LRU"]["hit_ratio"], trace
+
+
+def bench_fig8(benchmark, bench_events, bench_seeds):
+    """Figure 8: response-time comparison."""
+    result = benchmark.pedantic(
+        lambda: fig8.run(n_events=bench_events, seeds=bench_seeds),
+        rounds=1,
+        iterations=1,
+    )
+    _show(result)
+    for trace, rts in result.data["matrix"].items():
+        assert rts["FPA"] <= rts["LRU"], trace
+
+
+def bench_table2(benchmark):
+    """Table 2: the exact DPA/IPA worked example."""
+    result = benchmark.pedantic(table2.run, rounds=3, iterations=1)
+    _show(result)
+    assert result.data["all_match"]
+
+
+def bench_table3(benchmark, bench_events, bench_seeds):
+    """Table 3: prefetch accuracy FARMER vs Nexus."""
+    result = benchmark.pedantic(
+        lambda: table3.run(n_events=bench_events, seeds=bench_seeds),
+        rounds=1,
+        iterations=1,
+    )
+    _show(result)
+    measured = result.data["measured"]
+    assert measured["FARMER"] > measured["Nexus"]
+
+
+def bench_table4(benchmark, bench_events):
+    """Table 4: memory overhead accounting."""
+    result = benchmark.pedantic(
+        lambda: table4.run(n_events=bench_events), rounds=1, iterations=1
+    )
+    _show(result)
+    matrix = result.data["matrix"]
+    assert matrix["llnl"]["extrapolated_mb"] > matrix["ins"]["extrapolated_mb"]
+
+
+def bench_ablation_dpa_ipa(benchmark, bench_events, bench_seeds):
+    """§3.2.1 ablation: IPA vs DPA."""
+    result = benchmark.pedantic(
+        lambda: ablations.run_dpa_ipa(
+            n_events=bench_events, seeds=bench_seeds, traces=("hp",)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _show(result)
+
+
+def bench_ablation_lda(benchmark, bench_events, bench_seeds):
+    """§3.2.2 ablation: LDA vs uniform weighting."""
+    result = benchmark.pedantic(
+        lambda: ablations.run_lda(
+            n_events=bench_events, seeds=bench_seeds, traces=("hp",)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _show(result)
+
+
+def bench_ablation_sv_policy(benchmark, bench_events, bench_seeds):
+    """Vector-policy ablation (merge/latest/first)."""
+    result = benchmark.pedantic(
+        lambda: ablations.run_sv_policy(
+            n_events=bench_events, seeds=bench_seeds, traces=("ins",)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _show(result)
+
+
+def bench_layout(benchmark, bench_events, bench_seeds):
+    """§4.2: correlation-directed layout."""
+    result = benchmark.pedantic(
+        lambda: layout_experiment.run(n_events=bench_events, seeds=bench_seeds),
+        rounds=1,
+        iterations=1,
+    )
+    _show(result)
+    assert result.data["seek_ratio"] < 1.0
+
+
+def bench_ext_predictors(benchmark, bench_events, bench_seeds):
+    """Extension: offline accuracy of the predictor family."""
+    from repro.experiments import extensions
+
+    result = benchmark.pedantic(
+        lambda: extensions.run_predictors(n_events=bench_events, seeds=bench_seeds),
+        rounds=1,
+        iterations=1,
+    )
+    _show(result)
+    acc = result.data["accuracy"]
+    assert acc["Nexus"] > acc["LastSuccessor"]
+
+
+def bench_ext_regression(benchmark, bench_events):
+    """Extension: §7 attribute regression."""
+    from repro.experiments import extensions
+
+    result = benchmark.pedantic(
+        lambda: extensions.run_regression(n_events=bench_events),
+        rounds=1,
+        iterations=1,
+    )
+    _show(result)
+    assert result.data["coefficients"]["process"] > 0

@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the storage substrate: simulator event rate,
+cache operations and the B-tree store."""
+
+from __future__ import annotations
+
+from repro.core.farmer import Farmer
+from repro.storage.cache import LRUCache
+from repro.storage.cluster import SimulationConfig, run_simulation
+from repro.storage.kvstore import BTreeKVStore
+from repro.storage.prefetch import FarmerPrefetcher, NoPrefetcher
+
+
+def bench_simulation_lru(benchmark, hp_bench_trace):
+    """Event-loop throughput with the LRU (no-prefetch) policy."""
+    cfg = SimulationConfig(cache_capacity=72)
+    report = benchmark.pedantic(
+        lambda: run_simulation(hp_bench_trace, NoPrefetcher(), cfg),
+        rounds=2,
+        iterations=1,
+    )
+    assert report.demand_requests == len(hp_bench_trace)
+
+
+def bench_simulation_fpa(benchmark, hp_bench_trace):
+    """Event-loop throughput with full FARMER prefetching."""
+    cfg = SimulationConfig(cache_capacity=72)
+    report = benchmark.pedantic(
+        lambda: run_simulation(hp_bench_trace, FarmerPrefetcher(Farmer()), cfg),
+        rounds=2,
+        iterations=1,
+    )
+    assert report.prefetch_issued > 0
+
+
+def bench_lru_cache_ops(benchmark):
+    """Cache lookup/insert mix at steady state."""
+    keys = [(i * 37) % 600 for i in range(5000)]
+
+    def churn():
+        cache = LRUCache(256)
+        for k in keys:
+            if cache.lookup(k) is None:
+                cache.insert(k, k)
+        return cache
+
+    cache = benchmark.pedantic(churn, rounds=3, iterations=1)
+    assert len(cache) == 256
+
+
+def bench_btree_put_get(benchmark):
+    """B-tree store: interleaved puts and gets."""
+    ops = [((i * 2654435761) % 10_000, i % 3 == 0) for i in range(5000)]
+
+    def churn():
+        store = BTreeKVStore(min_degree=16)
+        for key, is_get in ops:
+            if is_get:
+                store.get(key)
+            else:
+                store.put(key, key)
+        return store
+
+    store = benchmark.pedantic(churn, rounds=3, iterations=1)
+    store.check_invariants()
+
+
+def bench_btree_range_scan(benchmark):
+    """B-tree cursor scan over 10k keys."""
+    store = BTreeKVStore()
+    for i in range(10_000):
+        store.put(i, i)
+    out = benchmark(lambda: sum(1 for _ in store.range(2000, 8000)))
+    assert out == 6001

@@ -1,0 +1,34 @@
+"""Micro-benchmarks of the trace substrate: generation and statistics."""
+
+from __future__ import annotations
+
+from repro.traces.stats import filtered_predictability, successor_predictability
+from repro.traces.synthetic import generate_trace
+
+
+def bench_trace_generation(benchmark):
+    """Synthetic HP trace generation rate."""
+    trace = benchmark.pedantic(
+        lambda: generate_trace("hp", 5000, seed=9), rounds=3, iterations=1
+    )
+    assert len(trace) == 5000
+
+
+def bench_llnl_generation(benchmark):
+    """LLNL (parallel-job) generation — exercises the job fan-out path."""
+    trace = benchmark.pedantic(
+        lambda: generate_trace("llnl", 5000, seed=9), rounds=3, iterations=1
+    )
+    assert len(trace) == 5000
+
+
+def bench_successor_predictability(benchmark, hp_bench_trace):
+    """The Figure 1 'none' statistic."""
+    value = benchmark(lambda: successor_predictability(hp_bench_trace))
+    assert 0.0 < value < 1.0
+
+
+def bench_filtered_predictability(benchmark, hp_bench_trace):
+    """The Figure 1 per-attribute statistic (pid filter)."""
+    value = benchmark(lambda: filtered_predictability(hp_bench_trace, ("process",)))
+    assert 0.0 < value <= 1.0

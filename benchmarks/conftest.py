@@ -1,0 +1,30 @@
+"""Benchmark fixtures: shared traces so generation cost isn't re-paid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.synthetic import generate_trace
+
+BENCH_EVENTS = 2500
+BENCH_SEEDS = (1,)
+
+
+@pytest.fixture(scope="session")
+def bench_events():
+    return BENCH_EVENTS
+
+
+@pytest.fixture(scope="session")
+def bench_seeds():
+    return BENCH_SEEDS
+
+
+@pytest.fixture(scope="session")
+def hp_bench_trace():
+    return generate_trace("hp", BENCH_EVENTS, seed=1)
+
+
+@pytest.fixture(scope="session")
+def ins_bench_trace():
+    return generate_trace("ins", BENCH_EVENTS, seed=1)

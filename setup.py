@@ -1,0 +1,24 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 517 builds (which need ``bdist_wheel``) fail. Keeping a setup.py
+and no ``[build-system]`` table lets ``pip install -e .`` use the legacy
+``setup.py develop`` path, which works everywhere.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "FARMER: file access correlation mining and evaluation reference "
+        "model (reproduction of Xia et al., HPDC 2008)"
+    ),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={"console_scripts": ["farmer-repro = repro.cli:main"]},
+)

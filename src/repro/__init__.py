@@ -1,0 +1,69 @@
+"""FARMER reproduction: file access correlation mining and evaluation.
+
+Reimplementation of Xia, Feng, Jiang, Tian & Wang, *FARMER: A Novel
+Approach to File Access Correlation Mining And Evaluation Reference Model
+for Optimizing Peta-Scale File System Performance* (HPDC 2008 / UNL TR
+TR-UNL-CSE-2008-0001), together with every substrate the evaluation
+depends on: synthetic trace workloads, the Nexus/LRU comparators and an
+event-driven object-storage (HUSt-like) metadata-server simulator.
+
+Quick start::
+
+    from repro import Farmer, FarmerConfig, generate_trace
+
+    trace = generate_trace("hp", 20_000, seed=1)
+    farmer = Farmer(FarmerConfig(weight_p=0.7, max_strength=0.4))
+    farmer.mine(trace)
+    print(farmer.correlators(trace[0].fid))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table and figure.
+"""
+
+from repro.core import (
+    DEFAULT_ATTRIBUTES,
+    PATHLESS_ATTRIBUTES,
+    Farmer,
+    FarmerConfig,
+    FarmerStats,
+)
+from repro.graph import CorrelationGraph, CorrelatorEntry, CorrelatorList
+from repro.storage import (
+    FarmerPrefetcher,
+    LatencyModel,
+    NoPrefetcher,
+    PredictorPrefetcher,
+    SimulationConfig,
+    SimulationReport,
+    run_simulation,
+)
+from repro.traces import TRACE_NAMES, TraceRecord, generate_trace, make_workload
+from repro.vsm import SemanticVector, Vocabulary, similarity
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_ATTRIBUTES",
+    "PATHLESS_ATTRIBUTES",
+    "Farmer",
+    "FarmerConfig",
+    "FarmerStats",
+    "CorrelationGraph",
+    "CorrelatorEntry",
+    "CorrelatorList",
+    "FarmerPrefetcher",
+    "LatencyModel",
+    "NoPrefetcher",
+    "PredictorPrefetcher",
+    "SimulationConfig",
+    "SimulationReport",
+    "run_simulation",
+    "TRACE_NAMES",
+    "TraceRecord",
+    "generate_trace",
+    "make_workload",
+    "SemanticVector",
+    "Vocabulary",
+    "similarity",
+    "__version__",
+]

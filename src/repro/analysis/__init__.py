@@ -1,0 +1,17 @@
+"""Analysis extensions: the paper's §7 future-work regression and an
+offline predictor-accuracy harness over the related-work baselines."""
+
+from repro.analysis.predictor_eval import (
+    PredictorScore,
+    evaluate_predictor,
+    evaluate_predictors,
+)
+from repro.analysis.regression import AttributeRegression, fit_attribute_regression
+
+__all__ = [
+    "PredictorScore",
+    "evaluate_predictor",
+    "evaluate_predictors",
+    "AttributeRegression",
+    "fit_attribute_regression",
+]

@@ -1,0 +1,94 @@
+"""Offline predictor evaluation: hit@k over a trace.
+
+The related-work section compares FARMER against a family of classical
+predictors (LS, FS, Recent Popularity, Probability Graph, SD graph,
+Nexus, PBS, PULS). This harness measures each predictor's raw
+*next-access* accuracy independently of any cache: at every request it
+asks the predictor for k candidates *before* revealing the request, and
+scores a hit if the requested file was among the candidates predicted
+after the previous request. This isolates prediction quality from cache
+effects — complementary to the simulator's hit-ratio numbers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.baselines.base import Predictor
+from repro.traces.record import TraceRecord
+
+__all__ = ["PredictorScore", "evaluate_predictor", "evaluate_predictors"]
+
+
+@dataclass(frozen=True, slots=True)
+class PredictorScore:
+    """Offline accuracy of one predictor."""
+
+    name: str
+    k: int
+    predictions: int
+    hits: int
+    coverage: float  # fraction of requests where the predictor offered anything
+
+    @property
+    def accuracy(self) -> float:
+        """hits / predictions (NaN when nothing was predicted)."""
+        if self.predictions == 0:
+            return float("nan")
+        return self.hits / self.predictions
+
+
+def evaluate_predictor(
+    records: Sequence[TraceRecord],
+    predictor: Predictor,
+    k: int = 1,
+    name: str | None = None,
+    warmup: int = 0,
+) -> PredictorScore:
+    """Score ``predictor`` on next-access prediction over ``records``.
+
+    After observing record *i*, the predictor's candidates for record
+    *i*'s file are compared against record *i+1*'s file. Records inside
+    the ``warmup`` prefix train the predictor without being scored.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    predictions = 0
+    hits = 0
+    offered = 0
+    total = 0
+    prev_candidates: list[int] | None = None
+    for i, record in enumerate(records):
+        if prev_candidates is not None and i > warmup:
+            total += 1
+            if prev_candidates:
+                offered += 1
+                predictions += 1
+                if record.fid in prev_candidates:
+                    hits += 1
+        predictor.observe(record)
+        prev_candidates = predictor.predict(record.fid, k)
+    coverage = offered / total if total else float("nan")
+    return PredictorScore(
+        name=name if name is not None else type(predictor).__name__,
+        k=k,
+        predictions=predictions,
+        hits=hits,
+        coverage=coverage,
+    )
+
+
+def evaluate_predictors(
+    records: Sequence[TraceRecord],
+    predictors: dict[str, Predictor],
+    k: int = 1,
+    warmup: int = 0,
+) -> list[PredictorScore]:
+    """Score several predictors on the same trace, best accuracy first."""
+    scores = [
+        evaluate_predictor(records, predictor, k=k, name=name, warmup=warmup)
+        for name, predictor in predictors.items()
+    ]
+    scores.sort(key=lambda s: -(s.accuracy if s.accuracy == s.accuracy else -1.0))
+    return scores

@@ -1,0 +1,27 @@
+"""FARMER applications beyond prefetching (paper §4.2/§4.3):
+correlation-directed data layout, replica grouping and security-rule
+propagation."""
+
+from repro.apps.grouping import (
+    ReplicaGroups,
+    SecurityRulePropagator,
+    build_replica_groups,
+)
+from repro.apps.layout import (
+    LayoutEvaluation,
+    LayoutPlan,
+    evaluate_layout,
+    plan_arrival_layout,
+    plan_correlation_layout,
+)
+
+__all__ = [
+    "ReplicaGroups",
+    "SecurityRulePropagator",
+    "build_replica_groups",
+    "LayoutEvaluation",
+    "LayoutPlan",
+    "evaluate_layout",
+    "plan_arrival_layout",
+    "plan_correlation_layout",
+]

@@ -1,0 +1,68 @@
+"""Baseline predictors from the paper's related-work section.
+
+All implement the :class:`~repro.baselines.base.Predictor` protocol and
+are registered by name for the experiment harness:
+
+======================  =============================================
+name                    algorithm
+======================  =============================================
+``noop``                no prefetching (LRU comparator)
+``last_successor``      Last Successor (LS)
+``first_successor``     First Successor (FS)
+``stable_successor``    LS with switch hysteresis
+``recent_popularity``   best-j-of-k (Amer et al.)
+``probability_graph``   Griffioen–Appleton lookahead graph
+``sd_graph``            SEER sequence-proximity distance
+``nexus``               Gu et al., CCGRID'06 (the paper's comparator)
+``pbs``                 program-conditioned LS (Yeh et al.)
+``puls``                program+user-conditioned LS (Yeh et al.)
+======================  =============================================
+"""
+
+from repro.baselines.base import (
+    Predictor,
+    make_predictor,
+    observe_all,
+    predictor_names,
+    register_predictor,
+)
+from repro.baselines.last_successor import (
+    FirstSuccessor,
+    LastSuccessor,
+    StableSuccessor,
+)
+from repro.baselines.nexus import Nexus
+from repro.baselines.noop import NoopPredictor
+from repro.baselines.pbs import ProgramBasedSuccessor, ProgramUserLastSuccessor
+from repro.baselines.probability_graph import ProbabilityGraph
+from repro.baselines.recent_popularity import RecentPopularity
+from repro.baselines.sd_graph import SDGraph
+
+register_predictor("noop", NoopPredictor)
+register_predictor("last_successor", LastSuccessor)
+register_predictor("first_successor", FirstSuccessor)
+register_predictor("stable_successor", StableSuccessor)
+register_predictor("recent_popularity", RecentPopularity)
+register_predictor("probability_graph", ProbabilityGraph)
+register_predictor("sd_graph", SDGraph)
+register_predictor("nexus", Nexus)
+register_predictor("pbs", ProgramBasedSuccessor)
+register_predictor("puls", ProgramUserLastSuccessor)
+
+__all__ = [
+    "Predictor",
+    "make_predictor",
+    "observe_all",
+    "predictor_names",
+    "register_predictor",
+    "FirstSuccessor",
+    "LastSuccessor",
+    "StableSuccessor",
+    "Nexus",
+    "NoopPredictor",
+    "ProgramBasedSuccessor",
+    "ProgramUserLastSuccessor",
+    "ProbabilityGraph",
+    "RecentPopularity",
+    "SDGraph",
+]

@@ -1,0 +1,70 @@
+"""Common interface for file-access predictors.
+
+Every predictor — FARMER itself, Nexus, and the classical baselines the
+related-work section discusses — implements the same two-method protocol
+so the metadata-server simulator and the experiment harness can swap them
+freely:
+
+* ``observe(record)``: learn from one request (online);
+* ``predict(fid, k)``: up to ``k`` files likely to follow ``fid``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ConfigError
+from repro.traces.record import TraceRecord
+
+__all__ = ["Predictor", "register_predictor", "make_predictor", "predictor_names"]
+
+
+@runtime_checkable
+class Predictor(Protocol):
+    """The predictor protocol (structural — no inheritance required)."""
+
+    def observe(self, record: TraceRecord) -> None:
+        """Learn from one request."""
+        ...  # pragma: no cover - protocol stub
+
+    def predict(self, fid: int, k: int = 1) -> list[int]:
+        """Up to ``k`` predicted follower fids, most likely first."""
+        ...  # pragma: no cover - protocol stub
+
+
+_REGISTRY: dict[str, Callable[..., Predictor]] = {}
+
+
+def register_predictor(name: str, factory: Callable[..., Predictor]) -> None:
+    """Register a predictor factory under a stable name."""
+    if name in _REGISTRY:
+        raise ConfigError(f"predictor {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def make_predictor(name: str, **kwargs) -> Predictor:
+    """Instantiate a registered predictor by name.
+
+    Raises:
+        ConfigError: for an unknown name.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown predictor {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def predictor_names() -> list[str]:
+    """All registered predictor names."""
+    return sorted(_REGISTRY)
+
+
+def observe_all(predictor: Predictor, records: Iterable[TraceRecord]) -> Predictor:
+    """Feed a whole trace through a predictor (returns it for chaining)."""
+    for record in records:
+        predictor.observe(record)
+    return predictor

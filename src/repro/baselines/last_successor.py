@@ -1,0 +1,93 @@
+"""Successor-table predictors: Last Successor, First Successor, and the
+Stable Successor variant.
+
+These are the classical one-slot predictors the related-work section
+cites: LS predicts that the file which followed A last time will follow
+again; FS freezes the very first observed successor; Stable Successor
+only switches after the same new successor is seen ``patience`` times in
+a row (a simplified form of Amer's noise-resistant variants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.traces.record import TraceRecord
+
+__all__ = ["LastSuccessor", "FirstSuccessor", "StableSuccessor"]
+
+
+class _SuccessorTable:
+    """Shared machinery: track the previous request's fid."""
+
+    def __init__(self) -> None:
+        self._prev: int | None = None
+        self._table: dict[int, int] = {}
+
+    def predict(self, fid: int, k: int = 1) -> list[int]:
+        """The single stored successor (k is accepted for protocol parity)."""
+        succ = self._table.get(fid)
+        return [succ] if succ is not None and k >= 1 else []
+
+
+class LastSuccessor(_SuccessorTable):
+    """Predict the most recently observed successor of each file."""
+
+    def observe(self, record: TraceRecord) -> None:
+        """Update the predecessor's slot to this request's file."""
+        fid = record.fid
+        if self._prev is not None and self._prev != fid:
+            self._table[self._prev] = fid
+        self._prev = fid
+
+
+class FirstSuccessor(_SuccessorTable):
+    """Predict the first successor ever observed (never changes)."""
+
+    def observe(self, record: TraceRecord) -> None:
+        """Record the successor only if the slot is still empty."""
+        fid = record.fid
+        if self._prev is not None and self._prev != fid:
+            self._table.setdefault(self._prev, fid)
+        self._prev = fid
+
+
+@dataclass
+class _Candidate:
+    fid: int
+    streak: int
+
+
+class StableSuccessor(_SuccessorTable):
+    """Last-successor with hysteresis: switch only after ``patience``
+    consecutive observations of the same new successor."""
+
+    def __init__(self, patience: int = 2) -> None:
+        super().__init__()
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self._pending: dict[int, _Candidate] = {}
+
+    def observe(self, record: TraceRecord) -> None:
+        """Advance the hysteresis state machine for the predecessor."""
+        fid = record.fid
+        prev = self._prev
+        self._prev = fid
+        if prev is None or prev == fid:
+            return
+        current = self._table.get(prev)
+        if current is None:
+            self._table[prev] = fid
+            return
+        if current == fid:
+            self._pending.pop(prev, None)
+            return
+        cand = self._pending.get(prev)
+        if cand is None or cand.fid != fid:
+            self._pending[prev] = _Candidate(fid=fid, streak=1)
+            return
+        cand.streak += 1
+        if cand.streak >= self.patience:
+            self._table[prev] = fid
+            del self._pending[prev]

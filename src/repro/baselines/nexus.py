@@ -1,0 +1,71 @@
+"""Nexus — Gu, Zhu, Jiang & Wang, CCGRID 2006.
+
+The state-of-the-art metadata prefetcher the paper compares against: a
+directed weighted graph built with a look-ahead window and *linear
+decremented assignment* edge weights, predicting the top-k successors by
+edge weight. Nexus deliberately prefetches aggressively (larger groups,
+no semantic filtering) — the paper's analysis (§6) attributes its cache
+pollution to exactly that, and §7 notes Nexus is the p = 0 special case
+of FARMER.
+
+We reuse the same :class:`~repro.graph.correlation_graph.CorrelationGraph`
+substrate FARMER builds on, so the comparison isolates the *policy*
+difference (semantics + filtering vs none), not implementation details.
+"""
+
+from __future__ import annotations
+
+from repro.graph.correlation_graph import CorrelationGraph
+from repro.graph.lda import lda_weight
+from repro.traces.record import TraceRecord
+
+__all__ = ["Nexus"]
+
+
+class Nexus:
+    """Weighted-graph-based aggressive metadata prefetcher."""
+
+    def __init__(
+        self,
+        window: int = 4,
+        decrement: float = 0.1,
+        successor_capacity: int = 32,
+        group_size: int = 5,
+    ) -> None:
+        if group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        self.group_size = group_size
+        self.graph = CorrelationGraph(
+            window=window,
+            decrement=decrement,
+            successor_capacity=successor_capacity,
+            weight_fn=lda_weight,
+        )
+
+    def observe(self, record: TraceRecord) -> None:
+        """Feed one access into the weighted graph (attributes ignored)."""
+        self.graph.observe(record.fid)
+
+    def predict(self, fid: int, k: int | None = None) -> list[int]:
+        """Top-``k`` successors by LDA edge weight (no thresholding).
+
+        ``k`` defaults to the configured aggressive group size.
+        """
+        if k is None:
+            k = self.group_size
+        successors = self.graph.successors(fid)
+        if not successors:
+            return []
+        ranked = sorted(
+            successors.items(), key=lambda kv: (-kv[1].weighted_count, kv[0])
+        )
+        return [dst for dst, _ in ranked[:k]]
+
+    def edge_weight(self, src: int, dst: int) -> float:
+        """Raw LDA-weighted edge count (diagnostics/tests)."""
+        edge = self.graph.successors(src).get(dst)
+        return edge.weighted_count if edge is not None else 0.0
+
+    def approx_bytes(self) -> int:
+        """Graph footprint (memory-overhead comparisons)."""
+        return self.graph.approx_bytes()

@@ -1,0 +1,22 @@
+"""The no-prefetch predictor: observes nothing, predicts nothing.
+
+Pairing this with the metadata-server simulator yields the paper's LRU
+comparator — a plain LRU cache with no prefetching at all.
+"""
+
+from __future__ import annotations
+
+from repro.traces.record import TraceRecord
+
+__all__ = ["NoopPredictor"]
+
+
+class NoopPredictor:
+    """Predicts nothing; the LRU-only baseline."""
+
+    def observe(self, record: TraceRecord) -> None:
+        """Ignore the request."""
+
+    def predict(self, fid: int, k: int = 1) -> list[int]:
+        """Always empty."""
+        return []

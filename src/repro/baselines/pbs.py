@@ -1,0 +1,63 @@
+"""Program- and user-conditioned last-successor predictors.
+
+PBS (Program-Based Successor) and PULS (Program- and User-based Last
+Successor) — Yeh, Long & Brandt, ISPASS'01 — condition the classic
+last-successor table on *who* is accessing: PBS keeps one successor slot
+per (file, program) and PULS per (file, program, user). The paper points
+out these are special cases of FARMER where only the process (or
+process+user) attribute is exploited.
+
+The trace schema carries pids rather than program names; a pid is the
+program identity a 2001-era tracer would see, and the paper's own
+Table 5 columns use pid for "Process" as well.
+"""
+
+from __future__ import annotations
+
+from repro.traces.record import TraceRecord
+
+__all__ = ["ProgramBasedSuccessor", "ProgramUserLastSuccessor"]
+
+
+class _ConditionedLastSuccessor:
+    """Last-successor table keyed by (fid, condition)."""
+
+    def __init__(self) -> None:
+        self._prev: dict[tuple, int] = {}  # condition -> previous fid
+        self._table: dict[tuple, int] = {}  # (fid, *condition) -> successor
+        self._last_condition: dict[int, tuple] = {}  # fid -> condition last seen
+
+    def _condition(self, record: TraceRecord) -> tuple:
+        raise NotImplementedError
+
+    def observe(self, record: TraceRecord) -> None:
+        """Update the per-condition successor chain."""
+        fid = record.fid
+        cond = self._condition(record)
+        prev = self._prev.get(cond)
+        if prev is not None and prev != fid:
+            self._table[(prev, *cond)] = fid
+        self._prev[cond] = fid
+        self._last_condition[fid] = cond
+
+    def predict(self, fid: int, k: int = 1) -> list[int]:
+        """Successor under the condition this file was last seen in."""
+        cond = self._last_condition.get(fid)
+        if cond is None or k < 1:
+            return []
+        succ = self._table.get((fid, *cond))
+        return [succ] if succ is not None else []
+
+
+class ProgramBasedSuccessor(_ConditionedLastSuccessor):
+    """PBS: last successor conditioned on the accessing process."""
+
+    def _condition(self, record: TraceRecord) -> tuple:
+        return (record.pid,)
+
+
+class ProgramUserLastSuccessor(_ConditionedLastSuccessor):
+    """PULS: last successor conditioned on (process, user)."""
+
+    def _condition(self, record: TraceRecord) -> tuple:
+        return (record.pid, record.uid)

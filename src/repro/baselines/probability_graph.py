@@ -1,0 +1,65 @@
+"""Probability Graph — Griffioen & Appleton, USENIX Summer '94.
+
+A directed graph counts, for each file, how often every other file was
+opened within a look-ahead window after it (*uniform* weights — this is
+the key contrast with Nexus/FARMER's distance-decremented weights). A
+successor is predicted when its estimated chance ``count/total`` exceeds
+``min_chance``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.traces.record import TraceRecord
+
+__all__ = ["ProbabilityGraph"]
+
+
+class ProbabilityGraph:
+    """Lookahead-window probability-graph predictor."""
+
+    def __init__(self, window: int = 2, min_chance: float = 0.1) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 <= min_chance <= 1.0:
+            raise ValueError("min_chance must be in [0, 1]")
+        self.window = window
+        self.min_chance = min_chance
+        self._recent: list[int] = []
+        self._counts: dict[int, dict[int, int]] = defaultdict(dict)
+        self._totals: dict[int, int] = defaultdict(int)
+
+    def observe(self, record: TraceRecord) -> None:
+        """Credit this file to every window predecessor with weight 1."""
+        fid = record.fid
+        seen: set[int] = set()
+        for pred in reversed(self._recent):
+            if pred == fid or pred in seen:
+                continue
+            seen.add(pred)
+            row = self._counts[pred]
+            row[fid] = row.get(fid, 0) + 1
+            self._totals[pred] += 1
+        self._recent.append(fid)
+        if len(self._recent) > self.window:
+            self._recent.pop(0)
+
+    def chance(self, src: int, dst: int) -> float:
+        """Estimated P(dst follows src within the window)."""
+        total = self._totals.get(src, 0)
+        if total == 0:
+            return 0.0
+        return self._counts[src].get(dst, 0) / total
+
+    def predict(self, fid: int, k: int = 1) -> list[int]:
+        """Successors with chance >= min_chance, most probable first."""
+        total = self._totals.get(fid, 0)
+        if total == 0:
+            return []
+        row = self._counts[fid]
+        qualified = [
+            (cnt / total, dst) for dst, cnt in row.items() if cnt / total >= self.min_chance
+        ]
+        qualified.sort(key=lambda t: (-t[0], t[1]))
+        return [dst for _, dst in qualified[:k]]

@@ -1,0 +1,51 @@
+"""Recent Popularity ("best j of k") prediction — Amer et al., IPCCC'02.
+
+For each file keep the last ``k`` observed successors; predict the one
+that appears at least ``j`` times among them (ties broken toward
+recency). Robust against occasional noise while still adapting — the
+related-work section cites it as the strongest of the classical
+single-file predictors.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+
+from repro.traces.record import TraceRecord
+
+__all__ = ["RecentPopularity"]
+
+
+class RecentPopularity:
+    """Best-j-of-k recent-successor predictor."""
+
+    def __init__(self, j: int = 2, k: int = 4) -> None:
+        if j < 1 or k < j:
+            raise ValueError("need 1 <= j <= k")
+        self.j = j
+        self.k = k
+        self._prev: int | None = None
+        self._recent: dict[int, deque[int]] = {}
+
+    def observe(self, record: TraceRecord) -> None:
+        """Push this request onto the predecessor's recent-successor queue."""
+        fid = record.fid
+        if self._prev is not None and self._prev != fid:
+            queue = self._recent.get(self._prev)
+            if queue is None:
+                queue = deque(maxlen=self.k)
+                self._recent[self._prev] = queue
+            queue.append(fid)
+        self._prev = fid
+
+    def predict(self, fid: int, k: int = 1) -> list[int]:
+        """Successors meeting the j-of-k bar, most popular first."""
+        queue = self._recent.get(fid)
+        if not queue:
+            return []
+        counts = Counter(queue)
+        # recency index: later occurrences rank higher on ties
+        recency = {f: i for i, f in enumerate(queue)}
+        qualified = [f for f, c in counts.items() if c >= self.j]
+        qualified.sort(key=lambda f: (-counts[f], -recency[f]))
+        return qualified[:k]

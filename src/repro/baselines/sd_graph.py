@@ -1,0 +1,71 @@
+"""SD graph (SEER's semantic distance) — Kuenning, 1994.
+
+SEER's "semantic distance" is *sequence-derived*: the distance between
+two files is the number of intervening file accesses between their
+references; files that are repeatedly referenced close together get a
+small average distance and are deemed related. The paper contrasts this
+with FARMER precisely because SD never looks at request attributes — it
+is access-sequence mining wearing a semantic name.
+
+We implement the standard formulation: for each reference pair within a
+horizon, accumulate the observed distance; relatedness of (A, B) is
+``1 / (1 + mean_distance)``; prediction returns the closest files.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.traces.record import TraceRecord
+
+__all__ = ["SDGraph"]
+
+
+class SDGraph:
+    """Sequence-proximity ("semantic distance") predictor."""
+
+    def __init__(self, horizon: int = 6) -> None:
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        self.horizon = horizon
+        self._recent: list[int] = []
+        self._dist_sum: dict[int, dict[int, float]] = defaultdict(dict)
+        self._dist_cnt: dict[int, dict[int, int]] = defaultdict(dict)
+
+    def observe(self, record: TraceRecord) -> None:
+        """Record the distance from every file in the horizon to this one."""
+        fid = record.fid
+        seen: set[int] = set()
+        for distance, pred in enumerate(reversed(self._recent), start=1):
+            if pred == fid or pred in seen:
+                continue
+            seen.add(pred)
+            sums = self._dist_sum[pred]
+            cnts = self._dist_cnt[pred]
+            sums[fid] = sums.get(fid, 0.0) + distance
+            cnts[fid] = cnts.get(fid, 0) + 1
+        self._recent.append(fid)
+        if len(self._recent) > self.horizon:
+            self._recent.pop(0)
+
+    def relatedness(self, src: int, dst: int) -> float:
+        """``1 / (1 + mean distance)`` in (0, 1]; 0.0 if never co-seen."""
+        cnts = self._dist_cnt.get(src)
+        if not cnts or dst not in cnts:
+            return 0.0
+        mean = self._dist_sum[src][dst] / cnts[dst]
+        return 1.0 / (1.0 + mean)
+
+    def predict(self, fid: int, k: int = 1) -> list[int]:
+        """The ``k`` semantically-closest (sequence-closest) files."""
+        cnts = self._dist_cnt.get(fid)
+        if not cnts:
+            return []
+        scored = [
+            # weight relatedness by evidence count so one-off adjacencies
+            # do not outrank repeatedly co-accessed files
+            (self.relatedness(fid, dst) * min(1.0, cnts[dst] / 3.0), dst)
+            for dst in cnts
+        ]
+        scored.sort(key=lambda t: (-t[0], t[1]))
+        return [dst for _, dst in scored[:k]]

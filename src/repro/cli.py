@@ -1,0 +1,95 @@
+"""Command-line entry point: run any paper experiment from the shell.
+
+Usage::
+
+    farmer-repro list
+    farmer-repro run fig7 --events 6000 --seeds 1,2,3
+    farmer-repro run table2
+    farmer-repro all --events 3000 --seeds 1
+
+or equivalently ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.utils.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="farmer-repro",
+        description="FARMER (HPDC 2008) reproduction experiment harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    _add_scale_args(run_p)
+
+    all_p = sub.add_parser("all", help="run every experiment")
+    _add_scale_args(all_p)
+    return parser
+
+
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--events", type=int, default=None, help="trace length (events)"
+    )
+    parser.add_argument(
+        "--seeds",
+        type=str,
+        default=None,
+        help="comma-separated seeds, e.g. 1,2,3",
+    )
+
+
+def _scale_kwargs(args: argparse.Namespace, experiment_id: str) -> dict:
+    kwargs = {}
+    if experiment_id == "table2":
+        return kwargs  # the worked example takes no scale arguments
+    if args.events is not None:
+        kwargs["n_events"] = args.events
+    if args.seeds is not None:
+        kwargs["seeds"] = tuple(int(s) for s in args.seeds.split(",") if s)
+    return kwargs
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI main; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        rows = [
+            (exp.experiment_id, exp.paper_artifact, exp.description)
+            for exp in EXPERIMENTS.values()
+        ]
+        print(format_table(("id", "paper artifact", "description"), rows))
+        return 0
+    if args.command == "run":
+        exp = get_experiment(args.experiment)
+        t0 = time.perf_counter()
+        result = exp.run(**_scale_kwargs(args, exp.experiment_id))
+        print(result.render())
+        print(f"\n[{exp.experiment_id} finished in {time.perf_counter() - t0:.1f}s]")
+        return 0
+    if args.command == "all":
+        for exp in EXPERIMENTS.values():
+            t0 = time.perf_counter()
+            result = exp.run(**_scale_kwargs(args, exp.experiment_id))
+            print(result.render())
+            print(f"\n[{exp.experiment_id} finished in {time.perf_counter() - t0:.1f}s]\n")
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

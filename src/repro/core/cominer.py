@@ -1,0 +1,99 @@
+"""Stage 3 — Mining & Evaluating: the CoMiner algorithm (paper §3.2).
+
+For a file ``x`` and each graph successor ``y``:
+
+* semantic distance ``sim(x, y)`` via the configured path algorithm
+  (Function 1, IPA by default);
+* access frequency ``F(x, y) = N_xy / N_x`` with LDA-weighted ``N_xy``;
+* correlation degree ``R(x, y) = sim·p + F·(1 − p)`` (Function 2);
+
+entries with ``R > max_strength`` go into (or re-rank within) the file's
+Correlator List; weaker ones are filtered out. This mirrors the paper's
+Algorithm 1 pseudo-code, run incrementally per request.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import FarmerConfig
+from repro.core.constructor import GraphConstructor
+from repro.graph.correlator_list import CorrelatorList
+from repro.vsm.similarity import similarity
+
+__all__ = ["CoMiner"]
+
+
+class CoMiner:
+    """Evaluates correlation degrees and maintains Correlator Lists."""
+
+    def __init__(self, config: FarmerConfig, constructor: GraphConstructor) -> None:
+        self.config = config
+        self.constructor = constructor
+        self._lists: dict[int, CorrelatorList] = {}
+
+    # ------------------------------------------------------------------
+    # degree evaluation
+    # ------------------------------------------------------------------
+
+    def semantic_distance(self, src: int, dst: int) -> float:
+        """``sim(src, dst)`` from the stored semantic vectors (0 if unknown)."""
+        va = self.constructor.vector_of(src)
+        vb = self.constructor.vector_of(dst)
+        if va is None or vb is None:
+            return 0.0
+        return similarity(
+            va, vb, method=self.config.path_method, path_mode=self.config.path_mode
+        )
+
+    def correlation_degree(self, src: int, dst: int) -> float:
+        """Function 2: ``R = sim·p + F·(1−p)``."""
+        p = self.config.weight_p
+        sim = self.semantic_distance(src, dst) if p > 0.0 else 0.0
+        freq = self.constructor.graph.frequency(src, dst) if p < 1.0 else 0.0
+        return sim * p + freq * (1.0 - p)
+
+    # ------------------------------------------------------------------
+    # list maintenance
+    # ------------------------------------------------------------------
+
+    def _list_for(self, fid: int) -> CorrelatorList:
+        lst = self._lists.get(fid)
+        if lst is None:
+            lst = CorrelatorList(
+                threshold=self.config.max_strength,
+                capacity=self.config.correlator_capacity,
+            )
+            self._lists[fid] = lst
+        return lst
+
+    def reevaluate(self, src: int) -> CorrelatorList:
+        """Re-run Algorithm 1 for ``src``: evaluate every graph successor,
+        filter by the validity threshold, keep the list sorted."""
+        successors = self.constructor.graph.successors(src)
+        lst = self._list_for(src)
+        # drop list entries whose edge the graph has evicted
+        stale = [e.fid for e in lst.entries() if e.fid not in successors]
+        for fid in stale:
+            lst.discard(fid)
+        for dst in successors:
+            lst.update(dst, self.correlation_degree(src, dst))
+        return lst
+
+    def reevaluate_edge(self, src: int, dst: int) -> None:
+        """Refresh a single (src → dst) entry after an edge reinforcement."""
+        self._list_for(src).update(dst, self.correlation_degree(src, dst))
+
+    def list_of(self, fid: int) -> CorrelatorList | None:
+        """The Correlator List of ``fid`` (None if the file has none yet)."""
+        return self._lists.get(fid)
+
+    def n_lists(self) -> int:
+        """Number of files owning a Correlator List."""
+        return len(self._lists)
+
+    def lists(self) -> dict[int, CorrelatorList]:
+        """Live view of all lists (read-only use)."""
+        return self._lists
+
+    def approx_bytes(self) -> int:
+        """Footprint of all Correlator Lists."""
+        return 64 + sum(104 + lst.approx_bytes() for lst in self._lists.values())

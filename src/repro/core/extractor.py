@@ -1,0 +1,56 @@
+"""Stage 1 — Extracting: request → semantic vector.
+
+The extractor pulls the configured semantic attributes off each trace
+record and interns them into a :class:`~repro.vsm.vector.SemanticVector`.
+It is the only component that looks at raw attribute values; everything
+downstream sees interned ids. Absent attributes (e.g. ``path`` on an
+INS/RES record) are skipped, mirroring the paper's observation that
+path-less traces simply expose less semantic signal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.traces.record import TraceRecord, attribute_value
+from repro.vsm.path import tokenize_path
+from repro.vsm.vector import SemanticVector
+from repro.vsm.vocabulary import Vocabulary
+
+__all__ = ["Extractor"]
+
+
+class Extractor:
+    """Builds semantic vectors for trace records.
+
+    The extractor owns (or shares) a :class:`Vocabulary`; two extractors
+    sharing one vocabulary produce comparable vectors.
+    """
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        vocabulary: Vocabulary | None = None,
+    ) -> None:
+        self.attributes = tuple(attributes)
+        self.vocabulary = vocabulary if vocabulary is not None else Vocabulary()
+        self._wants_path = "path" in self.attributes
+        self._scalar_attrs = tuple(a for a in self.attributes if a != "path")
+
+    def extract(self, record: TraceRecord) -> SemanticVector:
+        """Semantic vector of one request."""
+        vocab = self.vocabulary
+        scalars = []
+        for attr in self._scalar_attrs:
+            value = attribute_value(record, attr)
+            if value is None:
+                continue
+            scalars.append(vocab.scalar_token(attr, value))
+        path_ids: tuple[int, ...] | None = None
+        if self._wants_path and record.path is not None:
+            path_ids = vocab.path_components(tokenize_path(record.path))
+        return SemanticVector(scalar_ids=tuple(sorted(scalars)), path_ids=path_ids)
+
+    def approx_bytes(self) -> int:
+        """Vocabulary footprint (the extractor itself is tiny)."""
+        return self.vocabulary.approx_bytes()

@@ -1,0 +1,144 @@
+"""The FARMER façade: the four-stage pipeline behind one object.
+
+Typical use::
+
+    from repro import Farmer, FarmerConfig, generate_trace
+
+    farmer = Farmer(FarmerConfig(weight_p=0.7, max_strength=0.4))
+    farmer.mine(generate_trace("hp", 20_000, seed=1))
+    for entry in farmer.correlators(fid):
+        print(entry.fid, entry.degree)
+
+``observe`` is the online entry point (one request at a time — this is
+what the metadata-server simulator drives); ``mine`` is the batch
+convenience. ``predict`` returns the prefetch candidates the paper's FPA
+issues: the head of the (already threshold-filtered) Correlator List.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.cominer import CoMiner
+from repro.core.config import FarmerConfig
+from repro.core.constructor import GraphConstructor
+from repro.core.extractor import Extractor
+from repro.core.sorter import CorrelationSnapshot, Sorter
+from repro.graph.correlator_list import CorrelatorEntry
+from repro.traces.record import TraceRecord
+from repro.vsm.vocabulary import Vocabulary
+
+__all__ = ["Farmer", "FarmerStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class FarmerStats:
+    """Size/footprint summary of a FARMER instance."""
+
+    n_observed: int
+    n_files: int
+    n_edges: int
+    n_lists: int
+    n_entries: int
+    vocabulary_size: int
+    memory_bytes: int
+
+    @property
+    def memory_megabytes(self) -> float:
+        """Footprint in MB (10^6 bytes, as Table 4 reports)."""
+        return self.memory_bytes / 1e6
+
+
+class Farmer:
+    """File Access coRrelation Mining and Evaluation Reference model."""
+
+    def __init__(self, config: FarmerConfig | None = None) -> None:
+        self.config = config if config is not None else FarmerConfig()
+        self.vocabulary = Vocabulary()
+        self.extractor = Extractor(self.config.attributes, self.vocabulary)
+        self.constructor = GraphConstructor(self.config, self.extractor)
+        self.miner = CoMiner(self.config, self.constructor)
+        self.sorter = Sorter(self.miner)
+        self._n_observed = 0
+
+    # ------------------------------------------------------------------
+    # mining
+    # ------------------------------------------------------------------
+
+    def observe(self, record: TraceRecord) -> None:
+        """Feed one request through all four stages."""
+        if (
+            self.config.op_filter is not None
+            and record.op not in self.config.op_filter
+        ):
+            return
+        fid, touched = self.constructor.observe(record)
+        # the freshly-reinforced incoming edges…
+        for pred in touched:
+            self.miner.reevaluate_edge(pred, fid)
+        # …and Algorithm 1 over the requested file's own successors.
+        self.miner.reevaluate(fid)
+        self._n_observed += 1
+
+    def mine(self, records: Iterable[TraceRecord]) -> "Farmer":
+        """Batch-mine a trace; returns self for chaining."""
+        for record in records:
+            self.observe(record)
+        return self
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def correlators(self, fid: int) -> list[CorrelatorEntry]:
+        """Valid correlates of ``fid``, strongest first."""
+        return self.sorter.correlators(fid)
+
+    def predict(self, fid: int, k: int | None = None) -> list[int]:
+        """Prefetch candidates for a request of ``fid`` (FPA's query)."""
+        if k is None:
+            k = self.config.prefetch_k
+        return [e.fid for e in self.sorter.top(fid, k)]
+
+    def correlation_degree(self, src: int, dst: int) -> float:
+        """Current ``R(src, dst)`` (Function 2), 0.0 for unseen pairs."""
+        return self.miner.correlation_degree(src, dst)
+
+    def semantic_distance(self, src: int, dst: int) -> float:
+        """Current ``sim(src, dst)`` (Function 1), 0.0 for unseen files."""
+        return self.miner.semantic_distance(src, dst)
+
+    def access_frequency(self, src: int, dst: int) -> float:
+        """Current ``F(src, dst)``, 0.0 for unseen pairs."""
+        return self.constructor.graph.frequency(src, dst)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> CorrelationSnapshot:
+        """Aggregate Correlator-List statistics."""
+        return self.sorter.snapshot()
+
+    def memory_bytes(self) -> int:
+        """FARMER's additional footprint: vocabulary + graph + vectors +
+        Correlator Lists (the quantity Table 4 reports)."""
+        return (
+            self.vocabulary.approx_bytes()
+            + self.constructor.approx_bytes()
+            + self.miner.approx_bytes()
+        )
+
+    def stats(self) -> FarmerStats:
+        """Full size/footprint summary."""
+        snap = self.snapshot()
+        return FarmerStats(
+            n_observed=self._n_observed,
+            n_files=self.constructor.graph.n_nodes(),
+            n_edges=self.constructor.graph.n_edges(),
+            n_lists=snap.n_lists,
+            n_entries=snap.n_entries,
+            vocabulary_size=len(self.vocabulary),
+            memory_bytes=self.memory_bytes(),
+        )

@@ -1,0 +1,116 @@
+"""Per-file semantic-vector maintenance policies.
+
+A file's semantic vector must summarise *who touches it*. Three policies:
+
+* ``latest`` — snapshot of the most recent request. Cheap, but on files
+  shared across users/processes (libraries, course material, parallel
+  shared inputs) the snapshot thrashes: the vector only ever matches the
+  last requester's context.
+* ``first`` — frozen at the first request (the paper's "attributes are
+  rarely modified" reading).
+* ``merge`` — the VSM document-vector reading and our default: keep up to
+  ``merge_cap`` recent *distinct* values per attribute, so a shared
+  library's vector overlaps every program currently linking it while a
+  private file's vector stays a single context. The cap bounds memory and
+  ages out stale contexts LRU-style.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.config import FarmerConfig
+from repro.core.extractor import Extractor
+from repro.traces.record import TraceRecord, attribute_value
+from repro.vsm.path import tokenize_path
+from repro.vsm.vector import SemanticVector
+
+__all__ = ["VectorStore"]
+
+
+class _MergeState:
+    """Recent distinct values per attribute for one file (LRU per attr)."""
+
+    __slots__ = ("values", "path")
+
+    def __init__(self) -> None:
+        self.values: dict[str, OrderedDict] = {}
+        self.path: str | None = None
+
+
+class VectorStore:
+    """fid → semantic vector, maintained under the configured policy."""
+
+    def __init__(self, config: FarmerConfig, extractor: Extractor) -> None:
+        self.config = config
+        self.extractor = extractor
+        self._vectors: dict[int, SemanticVector] = {}
+        self._merge: dict[int, _MergeState] = {}
+        self._scalar_attrs = tuple(a for a in config.attributes if a != "path")
+        self._wants_path = "path" in config.attributes
+
+    def update(self, record: TraceRecord) -> None:
+        """Fold one request into the file's vector."""
+        fid = record.fid
+        policy = self.config.sv_policy
+        if policy == "first":
+            if fid not in self._vectors:
+                self._vectors[fid] = self.extractor.extract(record)
+            return
+        if policy == "latest":
+            self._vectors[fid] = self.extractor.extract(record)
+            return
+        # merge policy
+        state = self._merge.get(fid)
+        if state is None:
+            state = _MergeState()
+            self._merge[fid] = state
+        cap = self.config.merge_cap
+        for attr in self._scalar_attrs:
+            value = attribute_value(record, attr)
+            if value is None:
+                continue
+            bucket = state.values.get(attr)
+            if bucket is None:
+                bucket = OrderedDict()
+                state.values[attr] = bucket
+            if value in bucket:
+                bucket.move_to_end(value)
+            else:
+                bucket[value] = True
+                if len(bucket) > cap:
+                    bucket.popitem(last=False)
+        if self._wants_path and record.path is not None:
+            state.path = record.path
+        self._vectors[fid] = self._build_merged(state)
+
+    def _build_merged(self, state: _MergeState) -> SemanticVector:
+        vocab = self.extractor.vocabulary
+        scalars: list[int] = []
+        for attr, bucket in state.values.items():
+            for value in bucket:
+                scalars.append(vocab.scalar_token(attr, value))
+        path_ids = (
+            vocab.path_components(tokenize_path(state.path))
+            if state.path is not None
+            else None
+        )
+        return SemanticVector(scalar_ids=tuple(sorted(scalars)), path_ids=path_ids)
+
+    def get(self, fid: int) -> SemanticVector | None:
+        """Current vector of ``fid`` (None if never seen)."""
+        return self._vectors.get(fid)
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def approx_bytes(self) -> int:
+        """Vector store footprint (merge state included)."""
+        total = 64 + sum(104 + v.approx_bytes() for v in self._vectors.values())
+        for state in self._merge.values():
+            total += 64
+            for bucket in state.values.values():
+                total += 48 + 56 * len(bucket)
+            if state.path is not None:
+                total += len(state.path)
+        return total

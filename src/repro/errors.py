@@ -1,0 +1,51 @@
+"""Exception hierarchy for the FARMER reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of ``repro`` with a single ``except`` clause
+while still being able to discriminate the failure class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object failed validation.
+
+    Raised eagerly at construction time (e.g. a weight outside ``[0, 1]``,
+    a non-positive cache capacity) so misconfiguration never silently
+    corrupts an experiment.
+    """
+
+
+class TraceFormatError(ReproError):
+    """A trace file or record could not be parsed.
+
+    Carries the offending line number when available so bad traces can be
+    located quickly.
+    """
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state.
+
+    This always indicates a bug (e.g. completing a request that was never
+    issued), never a user error, and is therefore loud by design.
+    """
+
+
+class KVStoreError(ReproError):
+    """An operation on the Berkeley-DB-substitute key/value store failed."""
+
+
+class UnknownExperimentError(ReproError):
+    """An experiment id was requested that the registry does not know."""

@@ -1,0 +1,17 @@
+"""Experiment harness: one module per table/figure of the paper's
+evaluation plus prose-claim ablations. See DESIGN.md §4 for the index
+and EXPERIMENTS.md for measured-vs-paper results."""
+
+from repro.experiments.common import (
+    DEFAULT_EVENTS,
+    DEFAULT_SEEDS,
+    Experiment,
+    ExperimentResult,
+)
+
+__all__ = [
+    "DEFAULT_EVENTS",
+    "DEFAULT_SEEDS",
+    "Experiment",
+    "ExperimentResult",
+]

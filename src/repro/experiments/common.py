@@ -1,0 +1,159 @@
+"""Shared experiment infrastructure.
+
+Every experiment module exposes ``run(scale, seeds) -> ExperimentResult``
+— a pure function returning printable rows — plus a module-level
+``EXPERIMENT`` descriptor consumed by the registry/CLI/benchmarks. The
+per-trace simulator operating points live here so that every figure and
+table is measured on the same system configuration (as in the paper,
+where one HUSt deployment served all experiments).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.config import DEFAULT_ATTRIBUTES, PATHLESS_ATTRIBUTES, FarmerConfig
+from repro.core.farmer import Farmer
+from repro.storage.cluster import SimulationConfig, run_simulation
+from repro.storage.metrics import SimulationReport
+from repro.storage.prefetch import (
+    FarmerPrefetcher,
+    NoPrefetcher,
+    PredictorPrefetcher,
+    PrefetchEngine,
+)
+from repro.baselines.nexus import Nexus
+from repro.traces.record import TraceRecord
+from repro.traces.synthetic import generate_trace
+from repro.utils.tables import format_table
+
+__all__ = [
+    "TRACE_CACHE_CAPACITY",
+    "trace_attributes",
+    "sim_config_for",
+    "farmer_config_for",
+    "make_fpa",
+    "make_nexus_prefetcher",
+    "make_lru",
+    "cached_trace",
+    "mean",
+    "ExperimentResult",
+    "Experiment",
+    "DEFAULT_EVENTS",
+    "DEFAULT_SEEDS",
+]
+
+# Per-trace metadata-cache capacity (entries). Chosen so each trace's
+# LRU baseline lands in a regime with prefetching headroom while keeping
+# the paper's cross-trace ordering (INS most cacheable, RES least).
+TRACE_CACHE_CAPACITY: dict[str, int] = {"hp": 72, "ins": 48, "res": 72, "llnl": 32}
+
+# Default experiment scale: big enough for stable shapes, small enough
+# that the full suite runs in minutes. Experiments accept overrides.
+DEFAULT_EVENTS = 6000
+DEFAULT_SEEDS: tuple[int, ...] = (1, 2, 3)
+
+
+def trace_attributes(trace: str) -> tuple[str, ...]:
+    """The paper's attribute set for a trace (Table 5): path-bearing
+    traces use {user, process, host, path}; INS/RES use file id + dev."""
+    return DEFAULT_ATTRIBUTES if trace in ("hp", "llnl") else PATHLESS_ATTRIBUTES
+
+
+def sim_config_for(trace: str, **overrides: Any) -> SimulationConfig:
+    """The per-trace simulator operating point."""
+    kwargs: dict[str, Any] = {"cache_capacity": TRACE_CACHE_CAPACITY[trace]}
+    kwargs.update(overrides)
+    return SimulationConfig(**kwargs)
+
+
+def farmer_config_for(trace: str, **overrides: Any) -> FarmerConfig:
+    """Default FARMER configuration for a trace."""
+    kwargs: dict[str, Any] = {"attributes": trace_attributes(trace)}
+    kwargs.update(overrides)
+    return FarmerConfig(**kwargs)
+
+
+def make_fpa(trace: str, **config_overrides: Any) -> FarmerPrefetcher:
+    """A fresh FPA engine for one simulation run."""
+    return FarmerPrefetcher(Farmer(farmer_config_for(trace, **config_overrides)))
+
+
+def make_nexus_prefetcher(group_size: int = 5) -> PredictorPrefetcher:
+    """The Nexus comparator at its published aggressiveness."""
+    return PredictorPrefetcher(Nexus(group_size=group_size), k=group_size)
+
+
+def make_lru() -> NoPrefetcher:
+    """The LRU comparator (no prefetching)."""
+    return NoPrefetcher()
+
+
+_TRACE_CACHE: dict[tuple[str, int, int], list[TraceRecord]] = {}
+
+
+def cached_trace(name: str, n_events: int, seed: int) -> list[TraceRecord]:
+    """Generate-or-reuse a trace (experiments share workloads heavily)."""
+    key = (name, n_events, seed)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        trace = generate_trace(name, n_events, seed=seed)
+        if len(_TRACE_CACHE) > 24:  # bound the cache; traces are big
+            _TRACE_CACHE.clear()
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def simulate(
+    trace_name: str,
+    prefetcher_factory: Callable[[], PrefetchEngine],
+    n_events: int,
+    seeds: Sequence[int],
+    **sim_overrides: Any,
+) -> list[SimulationReport]:
+    """One report per seed for a (trace, policy) pair."""
+    reports = []
+    for seed in seeds:
+        records = cached_trace(trace_name, n_events, seed)
+        config = sim_config_for(trace_name, seed=seed, **sim_overrides)
+        reports.append(run_simulation(records, prefetcher_factory(), config))
+    return reports
+
+
+def mean(values: Sequence[float]) -> float:
+    """Plain mean with empty-input NaN."""
+    vals = [v for v in values if v == v]
+    if not vals:
+        return float("nan")
+    return sum(vals) / len(vals)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Printable result of one experiment."""
+
+    experiment_id: str
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple, ...]
+    notes: str = ""
+    data: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Paper-style ASCII table plus notes."""
+        out = format_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            out += "\n\n" + self.notes
+        return out
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """Registry descriptor: id, paper artifact, and the runner."""
+
+    experiment_id: str
+    paper_artifact: str
+    description: str
+    run: Callable[..., ExperimentResult]

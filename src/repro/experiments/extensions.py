@@ -1,0 +1,132 @@
+"""Extension experiments beyond the paper's tables and figures.
+
+* ``ext_predictors`` — offline next-access accuracy of every related-work
+  predictor (§6) plus FARMER itself, isolating prediction quality from
+  cache effects.
+* ``ext_regression`` — the paper's §7 future-work idea: multiple
+  regression of pairwise access frequency on attribute agreement.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.predictor_eval import evaluate_predictors
+from repro.analysis.regression import fit_attribute_regression
+from repro.baselines import (
+    FirstSuccessor,
+    LastSuccessor,
+    Nexus,
+    ProbabilityGraph,
+    ProgramBasedSuccessor,
+    ProgramUserLastSuccessor,
+    RecentPopularity,
+    SDGraph,
+    StableSuccessor,
+)
+from repro.core.farmer import Farmer
+from repro.experiments.common import (
+    DEFAULT_SEEDS,
+    Experiment,
+    ExperimentResult,
+    cached_trace,
+    farmer_config_for,
+    mean,
+)
+
+__all__ = ["run_predictors", "run_regression", "EXPERIMENT_PREDICTORS", "EXPERIMENT_REGRESSION"]
+
+
+def _predictor_suite(trace: str) -> dict:
+    return {
+        "FARMER": Farmer(farmer_config_for(trace, max_strength=0.0)),
+        "Nexus": Nexus(),
+        "LastSuccessor": LastSuccessor(),
+        "FirstSuccessor": FirstSuccessor(),
+        "StableSuccessor": StableSuccessor(),
+        "RecentPopularity": RecentPopularity(),
+        "ProbabilityGraph": ProbabilityGraph(),
+        "SDGraph": SDGraph(),
+        "PBS": ProgramBasedSuccessor(),
+        "PULS": ProgramUserLastSuccessor(),
+    }
+
+
+def run_predictors(
+    n_events: int = 4000,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    trace: str = "hp",
+    k: int = 2,
+) -> ExperimentResult:
+    """Offline hit@k for the full predictor family."""
+    accumulated: dict[str, list[float]] = {}
+    coverage: dict[str, list[float]] = {}
+    for seed in seeds:
+        records = cached_trace(trace, n_events, seed)
+        scores = evaluate_predictors(records, _predictor_suite(trace), k=k)
+        for s in scores:
+            accumulated.setdefault(s.name, []).append(s.accuracy)
+            coverage.setdefault(s.name, []).append(s.coverage)
+    means = {name: mean(vals) for name, vals in accumulated.items()}
+    rows = [
+        (name, f"{means[name] * 100:.1f}%", f"{mean(coverage[name]) * 100:.1f}%")
+        for name in sorted(means, key=lambda n: -means[n])
+    ]
+    return ExperimentResult(
+        experiment_id="ext_predictors",
+        title=f"Extension: offline next-access accuracy (hit@{k}, {trace.upper()})",
+        headers=("predictor", "accuracy", "coverage"),
+        rows=tuple(rows),
+        notes=(
+            "Accuracy = fraction of offered predictions containing the "
+            "next access; coverage = fraction of requests with any "
+            "prediction. Strictly-next prediction favours pure sequence "
+            "methods; FARMER optimises *soon*-access (its candidates "
+            "arrive within the prefetch horizon), which is why it wins "
+            "at the cache level (fig7) even when mid-pack here. The "
+            "single-slot predictors (LS/FS) trail badly under "
+            "interleaving, as §6 argues."
+        ),
+        data={"accuracy": means},
+    )
+
+
+def run_regression(
+    n_events: int = 4000,
+    seeds: Sequence[int] = (1,),
+    trace: str = "hp",
+) -> ExperimentResult:
+    """§7 future work: attribute-agreement regression."""
+    records = cached_trace(trace, n_events, seeds[0])
+    fit = fit_attribute_regression(records)
+    rows = tuple(fit.summary_rows())
+    return ExperimentResult(
+        experiment_id="ext_regression",
+        title=f"Extension (§7): regression of F(A,B) on attribute agreement ({trace.upper()})",
+        headers=("feature", "value"),
+        rows=rows,
+        notes=(
+            "Positive coefficients mean agreement on that attribute "
+            "predicts stronger access correlation; this quantifies the "
+            "Figure 1 intuition in one model."
+        ),
+        data={
+            "coefficients": dict(fit.ranked_attributes()),
+            "r_squared": fit.r_squared,
+        },
+    )
+
+
+EXPERIMENT_PREDICTORS = Experiment(
+    experiment_id="ext_predictors",
+    paper_artifact="§6 (related work)",
+    description="Offline accuracy of the full predictor family",
+    run=run_predictors,
+)
+
+EXPERIMENT_REGRESSION = Experiment(
+    experiment_id="ext_regression",
+    paper_artifact="§7 (future work)",
+    description="Multiple regression of correlation on attributes",
+    run=run_regression,
+)

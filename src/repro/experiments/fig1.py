@@ -1,0 +1,90 @@
+"""Figure 1 — inter-file access probability per semantic-attribute filter.
+
+The paper's motivating measurement: partition each trace into sub-streams
+agreeing on an attribute combination and compute the successor
+predictability within them. Claims to reproduce: (1) the unfiltered
+("none") stream is the *least* predictable in every trace; (2) different
+attributes help different traces by different amounts (e.g. the pid
+filter scores differently on RES vs HP; path beats uid on HP).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.experiments.common import (
+    DEFAULT_EVENTS,
+    DEFAULT_SEEDS,
+    Experiment,
+    ExperimentResult,
+    cached_trace,
+    mean,
+)
+from repro.traces.stats import filtered_predictability, successor_predictability
+from repro.traces.synthetic import TRACE_NAMES
+
+__all__ = ["run", "EXPERIMENT", "FILTERS"]
+
+# attribute combinations, in the paper's Figure 1 style; "path" only
+# exists on hp/llnl and is silently skipped elsewhere
+FILTERS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("none", ()),
+    ("uid", ("user",)),
+    ("pid", ("process",)),
+    ("host", ("host",)),
+    ("path", ("path",)),
+    ("uid+pid", ("user", "process")),
+    ("pid+host", ("process", "host")),
+)
+
+
+def run(
+    n_events: int = DEFAULT_EVENTS, seeds: Sequence[int] = DEFAULT_SEEDS
+) -> ExperimentResult:
+    """Compute the Figure 1 matrix over all four traces."""
+    rows = []
+    data: dict[str, dict[str, float]] = {}
+    for trace in TRACE_NAMES:
+        per_filter: dict[str, float] = {}
+        for label, attrs in FILTERS:
+            if "path" in attrs and trace in ("ins", "res"):
+                per_filter[label] = float("nan")
+                continue
+            vals = []
+            for seed in seeds:
+                records = cached_trace(trace, n_events, seed)
+                if attrs:
+                    vals.append(filtered_predictability(records, attrs))
+                else:
+                    vals.append(successor_predictability(records))
+            per_filter[label] = mean(vals)
+        data[trace] = per_filter
+        rows.append(
+            (
+                trace,
+                *(
+                    f"{per_filter[label] * 100:.1f}%" if per_filter[label] == per_filter[label] else "-"
+                    for label, _ in FILTERS
+                ),
+            )
+        )
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="Figure 1: inter-file access probability by attribute filter",
+        headers=("trace", *(label for label, _ in FILTERS)),
+        rows=tuple(rows),
+        notes=(
+            "Paper claim: the unfiltered stream ('none') has the lowest "
+            "probability in every trace; attributes contribute unevenly "
+            "across traces. '-' = attribute unavailable in that trace."
+        ),
+        data={"matrix": data},
+    )
+
+
+EXPERIMENT = Experiment(
+    experiment_id="fig1",
+    paper_artifact="Figure 1",
+    description="Successor predictability per attribute filter, 4 traces",
+    run=run,
+)

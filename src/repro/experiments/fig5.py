@@ -1,0 +1,88 @@
+"""Figure 5 (the attribute-combination table) — cache hit ratios with
+different semantic-attribute combinations.
+
+The paper enumerates 15 combinations of four attributes per trace (HP
+uses File Path; INS/RES use File ID) and shows spreads of ~0.1–13 pp,
+proving that attribute choice matters and differs per trace. We run the
+FPA simulation per combination and report the same table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from itertools import combinations
+
+from repro.experiments.common import (
+    DEFAULT_SEEDS,
+    Experiment,
+    ExperimentResult,
+    make_fpa,
+    mean,
+    simulate,
+)
+
+__all__ = ["run", "EXPERIMENT", "combination_labels"]
+
+_BASE = ("user", "process", "host")
+
+
+def _combos_for(trace: str) -> list[tuple[str, ...]]:
+    """All non-empty combinations of the trace's four attributes."""
+    fourth = "path" if trace in ("hp", "llnl") else "file"
+    attrs = (*_BASE, fourth)
+    out: list[tuple[str, ...]] = []
+    for r in range(1, len(attrs) + 1):
+        out.extend(combinations(attrs, r))
+    return out
+
+
+def combination_labels(trace: str) -> list[str]:
+    """Human-readable combination labels, paper style."""
+    return ["{" + ", ".join(c) + "}" for c in _combos_for(trace)]
+
+
+def run(
+    n_events: int = 4000,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    traces: Sequence[str] = ("hp", "ins", "res"),
+) -> ExperimentResult:
+    """Hit ratio per attribute combination per trace."""
+    rows = []
+    data: dict[str, dict[str, float]] = {}
+    for trace in traces:
+        per_combo: dict[str, float] = {}
+        for combo in _combos_for(trace):
+            # INS/RES always carry dev alongside fid, as in the raw traces
+            attrs = combo if trace in ("hp", "llnl") else (*combo, "dev")
+            reports = simulate(
+                trace,
+                lambda: make_fpa(trace, attributes=attrs),
+                n_events,
+                seeds,
+            )
+            label = "{" + ", ".join(combo) + "}"
+            per_combo[label] = mean([r.hit_ratio for r in reports])
+            rows.append((trace, label, f"{per_combo[label] * 100:.2f}%"))
+        data[trace] = per_combo
+        spread = (max(per_combo.values()) - min(per_combo.values())) * 100
+        rows.append((trace, "(spread best-worst)", f"{spread:.2f}pp"))
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Figure 5 / Table 5: hit ratio per attribute combination",
+        headers=("trace", "combination", "hit ratio"),
+        rows=tuple(rows),
+        notes=(
+            "Paper claim: combinations differ by ~0.1-13 pp; the best "
+            "combination differs per trace; HP benefits most from the "
+            "path attribute, INS/RES fall back to file-id/device."
+        ),
+        data={"matrix": data},
+    )
+
+
+EXPERIMENT = Experiment(
+    experiment_id="fig5",
+    paper_artifact="Figure 5 (Table 5)",
+    description="Hit ratio per semantic-attribute combination",
+    run=run,
+)

@@ -1,0 +1,88 @@
+"""Figure 7 — cache hit ratio comparison: FPA vs Nexus vs LRU.
+
+Claims to reproduce: FPA attains the highest hit ratio on every trace;
+the improvement over Nexus is largest on the path-bearing HP trace
+(paper: +13 pp) and smallest on the path-less RES trace (+3.1 pp in the
+paper); prefetch accuracy is substantially higher for FPA (Table 3
+measures 64% vs 43% on HP, reported alongside).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.experiments.common import (
+    DEFAULT_EVENTS,
+    DEFAULT_SEEDS,
+    Experiment,
+    ExperimentResult,
+    make_fpa,
+    make_lru,
+    make_nexus_prefetcher,
+    mean,
+    simulate,
+)
+from repro.traces.synthetic import TRACE_NAMES
+
+__all__ = ["run", "EXPERIMENT"]
+
+
+def run(
+    n_events: int = DEFAULT_EVENTS,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    traces: Sequence[str] = TRACE_NAMES,
+) -> ExperimentResult:
+    """Hit ratio and prefetch accuracy per (trace, policy)."""
+    rows = []
+    data: dict[str, dict[str, dict[str, float]]] = {}
+    for trace in traces:
+        per_policy: dict[str, dict[str, float]] = {}
+        for policy, factory in (
+            ("FPA", lambda: make_fpa(trace)),
+            ("Nexus", make_nexus_prefetcher),
+            ("LRU", make_lru),
+        ):
+            reports = simulate(trace, factory, n_events, seeds)
+            per_policy[policy] = {
+                "hit_ratio": mean([r.hit_ratio for r in reports]),
+                "accuracy": mean([r.prefetch_accuracy for r in reports]),
+            }
+        data[trace] = per_policy
+        gain_nexus = (
+            per_policy["FPA"]["hit_ratio"] - per_policy["Nexus"]["hit_ratio"]
+        ) * 100
+        gain_lru = (per_policy["FPA"]["hit_ratio"] - per_policy["LRU"]["hit_ratio"]) * 100
+        for policy in ("FPA", "Nexus", "LRU"):
+            stats = per_policy[policy]
+            acc = stats["accuracy"]
+            rows.append(
+                (
+                    trace,
+                    policy,
+                    f"{stats['hit_ratio'] * 100:.1f}%",
+                    f"{acc * 100:.1f}%" if acc == acc else "-",
+                )
+            )
+        rows.append(
+            (trace, "(FPA gain)", f"+{gain_nexus:.1f}pp vs Nexus", f"+{gain_lru:.1f}pp vs LRU")
+        )
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Figure 7: cache hit ratio comparison (FPA / Nexus / LRU)",
+        headers=("trace", "policy", "hit ratio", "prefetch accuracy"),
+        rows=tuple(rows),
+        notes=(
+            "Paper claim: FPA has the highest hit ratio on every trace "
+            "(+13pp vs Nexus on HP, +7.8 INS, +3.1 RES) with markedly "
+            "higher prefetch accuracy."
+        ),
+        data={"matrix": data},
+    )
+
+
+EXPERIMENT = Experiment(
+    experiment_id="fig7",
+    paper_artifact="Figure 7",
+    description="Hit-ratio comparison FPA vs Nexus vs LRU, 4 traces",
+    run=run,
+)

@@ -1,0 +1,55 @@
+"""Experiment registry: every paper artifact mapped to runnable code."""
+
+from __future__ import annotations
+
+from repro.errors import UnknownExperimentError
+from repro.experiments import ablations, extensions, fig1, fig3, fig5, fig6, fig7, fig8
+from repro.experiments import layout_experiment, table2, table3, table4
+from repro.experiments.common import Experiment, ExperimentResult
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment", "experiment_ids"]
+
+EXPERIMENTS: dict[str, Experiment] = {
+    exp.experiment_id: exp
+    for exp in (
+        fig1.EXPERIMENT,
+        fig3.EXPERIMENT,
+        fig5.EXPERIMENT,
+        fig6.EXPERIMENT,
+        fig7.EXPERIMENT,
+        fig8.EXPERIMENT,
+        table2.EXPERIMENT,
+        table3.EXPERIMENT,
+        table4.EXPERIMENT,
+        ablations.EXPERIMENT_DPA_IPA,
+        ablations.EXPERIMENT_LDA,
+        ablations.EXPERIMENT_SV_POLICY,
+        layout_experiment.EXPERIMENT,
+        extensions.EXPERIMENT_PREDICTORS,
+        extensions.EXPERIMENT_REGRESSION,
+    )
+}
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids."""
+    return list(EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment.
+
+    Raises:
+        UnknownExperimentError: for ids not in the registry.
+    """
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise UnknownExperimentError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run an experiment by id with optional overrides."""
+    return get_experiment(experiment_id).run(**kwargs)

@@ -1,0 +1,68 @@
+"""Table 3 — prefetch accuracy on the HP trace: FARMER vs Nexus.
+
+Paper values: FARMER 64.04%, Nexus 43.04%. Claim to reproduce: FPA's
+accuracy exceeds Nexus's by a wide margin (≈15+ pp) because the validity
+threshold removes weakly-correlated candidates before they pollute the
+cache.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.experiments.common import (
+    DEFAULT_EVENTS,
+    DEFAULT_SEEDS,
+    Experiment,
+    ExperimentResult,
+    make_fpa,
+    make_nexus_prefetcher,
+    mean,
+    simulate,
+)
+
+__all__ = ["run", "EXPERIMENT"]
+
+PAPER = {"FARMER": 0.6404, "Nexus": 0.4304}
+
+
+def run(
+    n_events: int = DEFAULT_EVENTS,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    trace: str = "hp",
+) -> ExperimentResult:
+    """Measure prefetch accuracy for both systems on HP."""
+    rows = []
+    measured: dict[str, float] = {}
+    for policy, factory in (
+        ("FARMER", lambda: make_fpa(trace)),
+        ("Nexus", make_nexus_prefetcher),
+    ):
+        reports = simulate(trace, factory, n_events, seeds)
+        acc = mean([r.prefetch_accuracy for r in reports])
+        measured[policy] = acc
+        rows.append(
+            (policy, f"{acc * 100:.2f}%", f"{PAPER[policy] * 100:.2f}%")
+        )
+    gap = (measured["FARMER"] - measured["Nexus"]) * 100
+    rows.append(("(gap)", f"{gap:.1f}pp", "21.0pp"))
+    return ExperimentResult(
+        experiment_id="table3",
+        title=f"Table 3: prefetch accuracy ({trace.upper()} trace)",
+        headers=("system", "measured", "paper"),
+        rows=tuple(rows),
+        notes=(
+            "Paper claim: ~64% of FPA predictions are correct vs ~43% for "
+            "Nexus. Absolute values depend on the trace; the gap is the "
+            "reproduced quantity."
+        ),
+        data={"measured": measured},
+    )
+
+
+EXPERIMENT = Experiment(
+    experiment_id="table3",
+    paper_artifact="Table 3",
+    description="Prefetch accuracy FARMER vs Nexus (HP)",
+    run=run,
+)

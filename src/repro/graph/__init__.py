@@ -1,0 +1,17 @@
+"""Correlation-graph substrate: LDA weighting, the directed weighted
+access graph and the sorted Correlator Lists."""
+
+from repro.graph.correlation_graph import CorrelationGraph, EdgeStats, NodeState
+from repro.graph.correlator_list import CorrelatorEntry, CorrelatorList
+from repro.graph.lda import lda_weight, uniform_weight, weight_schedule
+
+__all__ = [
+    "CorrelationGraph",
+    "EdgeStats",
+    "NodeState",
+    "CorrelatorEntry",
+    "CorrelatorList",
+    "lda_weight",
+    "uniform_weight",
+    "weight_schedule",
+]

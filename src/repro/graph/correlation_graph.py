@@ -1,0 +1,179 @@
+"""The directed, weighted file-correlation graph (paper §3.1 Stage 2).
+
+Nodes are files; a directed edge A→B accumulates the LDA-weighted count
+of "B followed A within the look-ahead window". Each node also tracks its
+raw access count ``N_A`` so the access frequency ``F(A,B) = N_AB / N_A``
+(§3.2.2) can be read off an edge at any time.
+
+To keep the footprint bounded on adversarial streams (and to reproduce
+the paper's small-memory claim honestly) each node's successor table has
+a configurable capacity; when full, the weakest edge is evicted. The
+paper's filtering makes strong edges keep growing, so eviction converges
+to the truly correlated set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.graph.lda import lda_weight
+
+__all__ = ["EdgeStats", "NodeState", "CorrelationGraph"]
+
+
+@dataclass(slots=True)
+class EdgeStats:
+    """Accumulated statistics of one directed edge A→B."""
+
+    weighted_count: float = 0.0
+    raw_count: int = 0
+    last_distance: int = 0
+
+    def approx_bytes(self) -> int:
+        """Approximate resident size of the edge record."""
+        return 48
+
+
+@dataclass(slots=True)
+class NodeState:
+    """Per-file graph state: access count and successor table."""
+
+    access_count: int = 0
+    successors: dict[int, EdgeStats] = field(default_factory=dict)
+
+    def approx_bytes(self) -> int:
+        """Approximate resident size of this node and its edges."""
+        return 72 + sum(104 + e.approx_bytes() for e in self.successors.values())
+
+
+class CorrelationGraph:
+    """Online directed weighted graph over file ids."""
+
+    def __init__(
+        self,
+        window: int = 4,
+        decrement: float = 0.1,
+        successor_capacity: int = 32,
+        weight_fn=lda_weight,
+    ) -> None:
+        if window < 1:
+            raise ConfigError("window must be >= 1")
+        if successor_capacity < 1:
+            raise ConfigError("successor_capacity must be >= 1")
+        self.window = window
+        self.decrement = decrement
+        self.successor_capacity = successor_capacity
+        self._weight_fn = weight_fn
+        self._nodes: dict[int, NodeState] = {}
+        self._recent: list[int] = []  # sliding window of the last `window`+1 fids
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def observe(self, fid: int) -> list[int]:
+        """Feed one access; returns the predecessor fids whose edge sets
+        were updated (the miner re-evaluates exactly those).
+
+        The new access becomes a successor (at its respective distance) of
+        every distinct file currently in the sliding window; self edges
+        are skipped.
+        """
+        node = self._nodes.get(fid)
+        if node is None:
+            node = NodeState()
+            self._nodes[fid] = node
+        node.access_count += 1
+
+        touched: list[int] = []
+        seen: set[int] = set()
+        # walk the window back-to-front: nearest predecessor has distance 1
+        for distance, pred in enumerate(reversed(self._recent), start=1):
+            if pred == fid or pred in seen:
+                continue
+            seen.add(pred)
+            self._add_edge(pred, fid, distance)
+            touched.append(pred)
+        self._recent.append(fid)
+        if len(self._recent) > self.window:
+            self._recent.pop(0)
+        return touched
+
+    def _add_edge(self, src: int, dst: int, distance: int) -> None:
+        node = self._nodes.get(src)
+        if node is None:  # src seen only through the window (shouldn't happen)
+            node = NodeState()
+            self._nodes[src] = node
+        edge = node.successors.get(dst)
+        if edge is None:
+            if len(node.successors) >= self.successor_capacity:
+                self._evict_weakest(node)
+            edge = EdgeStats()
+            node.successors[dst] = edge
+        edge.weighted_count += self._weight_fn(distance, self.decrement)
+        edge.raw_count += 1
+        edge.last_distance = distance
+
+    @staticmethod
+    def _evict_weakest(node: NodeState) -> None:
+        victim = min(node.successors, key=lambda k: node.successors[k].weighted_count)
+        del node.successors[victim]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def access_count(self, fid: int) -> int:
+        """Raw access count ``N_A`` of a file (0 if never seen)."""
+        node = self._nodes.get(fid)
+        return node.access_count if node else 0
+
+    def successors(self, fid: int) -> dict[int, EdgeStats]:
+        """Successor table of a file (live view; empty dict if none)."""
+        node = self._nodes.get(fid)
+        return node.successors if node else {}
+
+    def frequency(self, src: int, dst: int) -> float:
+        """Access frequency ``F(src, dst) = N_AB / N_A`` (0.0 if absent).
+
+        ``N_AB`` is the LDA-weighted successor count, ``N_A`` the raw
+        access count of ``src``, per §3.2.2.
+        """
+        node = self._nodes.get(src)
+        if node is None or node.access_count == 0:
+            return 0.0
+        edge = node.successors.get(dst)
+        if edge is None:
+            return 0.0
+        return min(1.0, edge.weighted_count / node.access_count)
+
+    def frequencies(self, src: int) -> dict[int, float]:
+        """``F(src, ·)`` for every successor of ``src``."""
+        node = self._nodes.get(src)
+        if node is None or node.access_count == 0:
+            return {}
+        n = node.access_count
+        return {
+            dst: min(1.0, e.weighted_count / n) for dst, e in node.successors.items()
+        }
+
+    def n_nodes(self) -> int:
+        """Number of distinct files observed."""
+        return len(self._nodes)
+
+    def n_edges(self) -> int:
+        """Number of directed edges currently retained."""
+        return sum(len(n.successors) for n in self._nodes.values())
+
+    def nodes(self) -> list[int]:
+        """All file ids present in the graph."""
+        return list(self._nodes)
+
+    def window_contents(self) -> tuple[int, ...]:
+        """Current sliding-window contents, oldest first (diagnostics)."""
+        return tuple(self._recent)
+
+    def approx_bytes(self) -> int:
+        """Approximate resident size of the whole graph."""
+        return 64 + sum(104 + n.approx_bytes() for n in self._nodes.values())

@@ -1,0 +1,118 @@
+"""Correlator Lists (paper §3.1 Stage 3/4).
+
+Every file with at least one valid successor owns a Correlator List: the
+successor fids paired with their correlation degree, kept sorted in
+decreasing degree so the head of the list is always the strongest
+correlate. Entries whose degree does not exceed the validity threshold
+(``max_strength``) are filtered out at update time — this is FARMER's
+memory-bounding mechanism (§3.3) as well as its prefetch-accuracy
+mechanism (§4.1).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["CorrelatorEntry", "CorrelatorList"]
+
+
+@dataclass(frozen=True, slots=True)
+class CorrelatorEntry:
+    """One (successor, degree) pair in a Correlator List."""
+
+    fid: int
+    degree: float
+
+
+class CorrelatorList:
+    """Sorted, thresholded, capacity-bounded successor list.
+
+    Maintained as a list sorted by decreasing degree (ties broken by fid
+    for determinism). ``update`` inserts or re-ranks a successor; entries
+    at or below the threshold are rejected/dropped.
+    """
+
+    __slots__ = ("threshold", "capacity", "_entries", "_degrees")
+
+    def __init__(self, threshold: float = 0.0, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ConfigError("correlator capacity must be >= 1")
+        if not 0.0 <= threshold <= 1.0:
+            raise ConfigError("threshold must be in [0, 1]")
+        self.threshold = threshold
+        self.capacity = capacity
+        self._entries: list[CorrelatorEntry] = []
+        self._degrees: dict[int, float] = {}
+
+    def update(self, fid: int, degree: float) -> bool:
+        """Insert or re-rank ``fid`` with a new degree.
+
+        Returns True if the fid is in the list afterwards. A degree at or
+        below the threshold removes an existing entry (a correlation can
+        decay below validity as frequencies shift).
+        """
+        old = self._degrees.get(fid)
+        if old is not None:
+            if old == degree:
+                return True
+            self._remove(fid, old)
+        if degree <= self.threshold:
+            return False
+        self._degrees[fid] = degree
+        # sort key: descending degree, ascending fid
+        insort(self._entries, CorrelatorEntry(fid, degree), key=lambda e: (-e.degree, e.fid))
+        if len(self._entries) > self.capacity:
+            victim = self._entries.pop()
+            del self._degrees[victim.fid]
+            return victim.fid != fid
+        return True
+
+    def _remove(self, fid: int, degree: float) -> None:
+        del self._degrees[fid]
+        # locate by linear scan from the sorted position neighbourhood;
+        # lists are small (capacity ≤ dozens) so a scan is fine.
+        for i, entry in enumerate(self._entries):
+            if entry.fid == fid:
+                self._entries.pop(i)
+                return
+
+    def discard(self, fid: int) -> None:
+        """Remove ``fid`` if present."""
+        old = self._degrees.get(fid)
+        if old is not None:
+            self._remove(fid, old)
+
+    def degree_of(self, fid: int) -> float | None:
+        """Degree of ``fid`` or None if not listed."""
+        return self._degrees.get(fid)
+
+    def top(self, k: int) -> list[CorrelatorEntry]:
+        """The ``k`` strongest correlates (fewer if the list is shorter)."""
+        return self._entries[:k]
+
+    def entries(self) -> list[CorrelatorEntry]:
+        """All entries, strongest first (a copy)."""
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fid: int) -> bool:
+        return fid in self._degrees
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def is_sorted(self) -> bool:
+        """Invariant check used by tests: strictly non-increasing degrees."""
+        return all(
+            self._entries[i].degree >= self._entries[i + 1].degree
+            for i in range(len(self._entries) - 1)
+        )
+
+    def approx_bytes(self) -> int:
+        """Approximate resident size (entries + index)."""
+        return 96 + 48 * len(self._entries) + 104 * len(self._degrees)

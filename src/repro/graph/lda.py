@@ -1,0 +1,53 @@
+"""Linear Decremented Assignment (LDA) — the paper's §3.2.2 weighting.
+
+When file A is followed by B, C, D within the look-ahead window, the
+successors are not equally important: the paper (following Nexus) adds
+1.0 to ``N_AB`` for the immediate successor, 0.9 for distance 2, 0.8 for
+distance 3, and so on. This module provides that weight schedule plus a
+uniform alternative used by the Probability-Graph baseline and the LDA
+ablation bench.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+__all__ = ["lda_weight", "uniform_weight", "weight_schedule"]
+
+
+def lda_weight(distance: int, decrement: float = 0.1, floor: float = 0.0) -> float:
+    """LDA weight for a successor at ``distance`` (1 = immediate).
+
+    ``weight = max(floor, 1 - decrement * (distance - 1))`` — the paper's
+    example (1.0 / 0.9 / 0.8 for distances 1/2/3) uses ``decrement=0.1``.
+
+    Raises:
+        ConfigError: for a non-positive distance or out-of-range knobs.
+    """
+    if distance < 1:
+        raise ConfigError("successor distance must be >= 1")
+    if not 0.0 <= decrement <= 1.0:
+        raise ConfigError("decrement must be in [0, 1]")
+    if not 0.0 <= floor <= 1.0:
+        raise ConfigError("floor must be in [0, 1]")
+    return max(floor, 1.0 - decrement * (distance - 1))
+
+
+def uniform_weight(distance: int, decrement: float = 0.0, floor: float = 0.0) -> float:
+    """Uniform window weighting: every in-window successor counts 1.0.
+
+    Signature-compatible with :func:`lda_weight` so the two schedules are
+    interchangeable in the graph constructor.
+    """
+    if distance < 1:
+        raise ConfigError("successor distance must be >= 1")
+    return 1.0
+
+
+def weight_schedule(name: str):
+    """Resolve a schedule by name ("lda" or "uniform")."""
+    if name == "lda":
+        return lda_weight
+    if name == "uniform":
+        return uniform_weight
+    raise ConfigError(f"unknown weight schedule {name!r}")

@@ -1,0 +1,47 @@
+"""The HUSt-like storage substrate: event engine, LRU metadata cache,
+Berkeley-DB-substitute KV store, dual priority queues, metadata servers,
+object storage devices, trace-replay clients and the cluster wiring.
+"""
+
+from repro.storage.cache import CacheEntry, LRUCache
+from repro.storage.client import TraceReplayClient
+from repro.storage.cluster import HustCluster, SimulationConfig, run_simulation
+from repro.storage.engine import EventLoop
+from repro.storage.kvstore import BTreeKVStore
+from repro.storage.latency import LatencyModel
+from repro.storage.mds import MetadataServer
+from repro.storage.metrics import MetricsCollector, SimulationReport
+from repro.storage.osd import Extent, ObjectStorageDevice, ReadCost
+from repro.storage.prefetch import (
+    FarmerPrefetcher,
+    NoPrefetcher,
+    PredictorPrefetcher,
+    PrefetchEngine,
+)
+from repro.storage.queues import DualRequestQueue
+from repro.storage.requests import MetadataRequest, RequestKind
+
+__all__ = [
+    "CacheEntry",
+    "LRUCache",
+    "TraceReplayClient",
+    "HustCluster",
+    "SimulationConfig",
+    "run_simulation",
+    "EventLoop",
+    "BTreeKVStore",
+    "LatencyModel",
+    "MetadataServer",
+    "MetricsCollector",
+    "SimulationReport",
+    "Extent",
+    "ObjectStorageDevice",
+    "ReadCost",
+    "FarmerPrefetcher",
+    "NoPrefetcher",
+    "PredictorPrefetcher",
+    "PrefetchEngine",
+    "DualRequestQueue",
+    "MetadataRequest",
+    "RequestKind",
+]

@@ -1,0 +1,120 @@
+"""The metadata cache: LRU replacement with prefetch bookkeeping.
+
+LRU is both the MDS cache replacement policy and, with prefetching
+disabled, the paper's standalone comparator. Entries remember whether
+they were brought in by a prefetch and whether they have served a demand
+hit since — that is exactly the bookkeeping prefetch *accuracy* (Table 3)
+needs: a prefetched entry that gets a demand hit before eviction was a
+good prefetch; one evicted untouched was cache pollution.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigError
+
+__all__ = ["CacheEntry", "LRUCache"]
+
+
+@dataclass(slots=True)
+class CacheEntry:
+    """One cached metadata object plus prefetch provenance."""
+
+    value: Any
+    prefetched: bool = False
+    used_since_prefetch: bool = True  # demand-loaded entries count as used
+
+
+class LRUCache:
+    """O(1) LRU cache over integer keys.
+
+    ``on_evict(key, entry)`` fires for every eviction (not for explicit
+    invalidation), letting the metrics layer count wasted prefetches.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        on_evict: Callable[[int, CacheEntry], None] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[int, CacheEntry] = OrderedDict()
+        self._on_evict = on_evict
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: int) -> CacheEntry | None:
+        """Demand lookup: recency-promoting, counts hit/miss, marks a
+        prefetched entry as used on its first demand hit."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        if entry.prefetched and not entry.used_since_prefetch:
+            entry.used_since_prefetch = True
+        return entry
+
+    def peek(self, key: int) -> CacheEntry | None:
+        """Non-promoting, non-counting lookup (used by the prefetcher to
+        skip already-cached candidates)."""
+        return self._entries.get(key)
+
+    def insert(self, key: int, value: Any, prefetched: bool = False) -> None:
+        """Insert or refresh an entry; evicts LRU victims as needed.
+
+        Refreshing an existing entry with a demand load clears its
+        prefetch provenance; refreshing with a prefetch keeps an existing
+        demand entry's provenance (a prefetch of something already cached
+        must not turn an earned entry into a speculative one).
+        """
+        existing = self._entries.get(key)
+        if existing is not None:
+            existing.value = value
+            if not prefetched:
+                existing.prefetched = False
+                existing.used_since_prefetch = True
+            self._entries.move_to_end(key)
+            return
+        while len(self._entries) >= self.capacity:
+            victim_key, victim = self._entries.popitem(last=False)
+            if self._on_evict is not None:
+                self._on_evict(victim_key, victim)
+        self._entries[key] = CacheEntry(
+            value=value,
+            prefetched=prefetched,
+            used_since_prefetch=not prefetched,
+        )
+
+    def invalidate(self, key: int) -> bool:
+        """Drop an entry without firing the eviction callback."""
+        return self._entries.pop(key, None) is not None
+
+    def hit_ratio(self) -> float:
+        """Demand hit ratio so far (NaN before any lookup)."""
+        total = self.hits + self.misses
+        if total == 0:
+            return float("nan")
+        return self.hits / total
+
+    def keys(self) -> list[int]:
+        """Keys in LRU→MRU order (diagnostics)."""
+        return list(self._entries)
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters (warm-up handling)."""
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,76 @@
+"""Minimal discrete-event engine for the storage simulator.
+
+Simulated time is integer nanoseconds (no float drift). Events are
+``(time, sequence, callback)`` triples in a binary heap; the sequence
+number makes event ordering total and deterministic — two events at the
+same instant fire in scheduling order, so identical seeds give identical
+simulations on every platform.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["EventLoop"]
+
+
+class EventLoop:
+    """Deterministic heapq-based event loop."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._now = 0
+        self._processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def processed(self) -> int:
+        """Number of events dispatched so far."""
+        return self._processed
+
+    def schedule_at(self, when: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute time ``when``.
+
+        Raises:
+            SimulationError: if ``when`` is in the simulated past.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} ns; current time is {self._now} ns"
+            )
+        heapq.heappush(self._heap, (when, self._seq, callback))
+        self._seq += 1
+
+    def schedule_after(self, delay: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` ``delay`` ns from now (delay >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.schedule_at(self._now + delay, callback)
+
+    def run(self, max_events: int | None = None) -> int:
+        """Dispatch events until the heap is empty (or ``max_events``).
+
+        Returns the number of events dispatched by this call.
+        """
+        dispatched = 0
+        while self._heap:
+            if max_events is not None and dispatched >= max_events:
+                break
+            when, _, callback = heapq.heappop(self._heap)
+            self._now = when
+            callback()
+            self._processed += 1
+            dispatched += 1
+        return dispatched
+
+    def pending(self) -> int:
+        """Number of events currently scheduled."""
+        return len(self._heap)

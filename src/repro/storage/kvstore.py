@@ -1,0 +1,284 @@
+"""An ordered key/value store standing in for Berkeley DB.
+
+HUSt keeps file and object metadata (and FARMER's Correlator Lists) in
+Berkeley DB; we implement the piece of it the simulator exercises: an
+ordered map with point lookups, inserts, range scans and cursors, backed
+by a genuine B-tree (CLRS insertion with node splits; deletes are
+tombstoned, which is how log-structured stores sidestep B-tree deletion
+as well). Operation counts are tracked so experiments can report I/O
+volume; *timing* is charged by the metadata server through the latency
+model, keeping the data structure pure.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterator
+from pathlib import Path
+from typing import Any
+
+from repro.errors import KVStoreError
+
+__all__ = ["BTreeKVStore"]
+
+_TOMBSTONE = object()
+
+
+class _Node:
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self, leaf: bool) -> None:
+        self.keys: list[int] = []
+        self.values: list[Any] = []
+        self.children: list["_Node"] | None = None if leaf else []
+
+    @property
+    def leaf(self) -> bool:
+        return self.children is None
+
+
+class BTreeKVStore:
+    """In-memory B-tree keyed by integers (CLRS minimum degree ``t``)."""
+
+    def __init__(self, min_degree: int = 16) -> None:
+        if min_degree < 2:
+            raise KVStoreError("min_degree must be >= 2")
+        self._t = min_degree
+        self._root = _Node(leaf=True)
+        self._len = 0
+        self.gets = 0
+        self.puts = 0
+        self.scans = 0
+
+    # ------------------------------------------------------------------
+    # point operations
+    # ------------------------------------------------------------------
+
+    def get(self, key: int, default: Any = None) -> Any:
+        """Value for ``key`` (or ``default``); counts one get."""
+        self.gets += 1
+        node = self._root
+        while True:
+            i = self._lower_bound(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                value = node.values[i]
+                return default if value is _TOMBSTONE else value
+            if node.leaf:
+                return default
+            node = node.children[i]
+
+    def __contains__(self, key: int) -> bool:
+        sentinel = object()
+        found = self.get(key, sentinel)
+        self.gets -= 1  # membership probes are not charged
+        return found is not sentinel
+
+    def put(self, key: int, value: Any) -> None:
+        """Insert or overwrite ``key``; counts one put."""
+        if value is _TOMBSTONE:
+            raise KVStoreError("reserved value")
+        self.puts += 1
+        slot = self._find_slot(key)
+        if slot is not None:
+            node, i = slot
+            if node.values[i] is _TOMBSTONE:
+                self._len += 1  # resurrecting a deleted key
+            node.values[i] = value
+            return
+        root = self._root
+        if len(root.keys) == 2 * self._t - 1:
+            new_root = _Node(leaf=False)
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+        self._insert_nonfull(self._root, key, value)
+        self._len += 1
+
+    def delete(self, key: int) -> bool:
+        """Tombstone ``key``; returns True if it was live."""
+        slot = self._find_slot(key)
+        if slot is None:
+            return False
+        node, i = slot
+        if node.values[i] is _TOMBSTONE:
+            return False
+        node.values[i] = _TOMBSTONE
+        self._len -= 1
+        return True
+
+    def batch_get(self, keys: list[int]) -> list[Any]:
+        """Point-get each key (None for misses); one get charged per key."""
+        return [self.get(k) for k in keys]
+
+    # ------------------------------------------------------------------
+    # range operations
+    # ------------------------------------------------------------------
+
+    def range(self, lo: int | None = None, hi: int | None = None) -> Iterator[tuple[int, Any]]:
+        """Yield (key, value) pairs with lo <= key <= hi in key order."""
+        self.scans += 1
+        yield from self._walk(self._root, lo, hi)
+
+    def _walk(self, node: _Node, lo: int | None, hi: int | None) -> Iterator[tuple[int, Any]]:
+        start = 0 if lo is None else self._lower_bound(node.keys, lo)
+        for i in range(start, len(node.keys)):
+            key = node.keys[i]
+            if hi is not None and key > hi:
+                if not node.leaf:
+                    yield from self._walk(node.children[i], lo, hi)
+                return
+            if not node.leaf:
+                yield from self._walk(node.children[i], lo, hi)
+            value = node.values[i]
+            if value is not _TOMBSTONE:
+                yield key, value
+        if not node.leaf:
+            yield from self._walk(node.children[len(node.keys)], lo, hi)
+
+    def keys(self) -> list[int]:
+        """All live keys in order (materialised; test/diagnostic use)."""
+        out = [k for k, _ in self.range()]
+        self.scans -= 1
+        return out
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _lower_bound(keys: list[int], key: int) -> int:
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _find_slot(self, key: int) -> tuple[_Node, int] | None:
+        """Locate the (node, index) slot holding ``key`` (live or dead)."""
+        node = self._root
+        while True:
+            i = self._lower_bound(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                return node, i
+            if node.leaf:
+                return None
+            node = node.children[i]
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        t = self._t
+        child = parent.children[index]
+        sibling = _Node(leaf=child.leaf)
+        mid_key = child.keys[t - 1]
+        mid_val = child.values[t - 1]
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        child.keys = child.keys[: t - 1]
+        child.values = child.values[: t - 1]
+        if not child.leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        parent.keys.insert(index, mid_key)
+        parent.values.insert(index, mid_val)
+        parent.children.insert(index + 1, sibling)
+
+    def _insert_nonfull(self, node: _Node, key: int, value: Any) -> None:
+        while not node.leaf:
+            i = self._lower_bound(node.keys, key)
+            child = node.children[i]
+            if len(child.keys) == 2 * self._t - 1:
+                self._split_child(node, i)
+                if key > node.keys[i]:
+                    i += 1
+                child = node.children[i]
+            node = child
+        i = self._lower_bound(node.keys, key)
+        node.keys.insert(i, key)
+        node.values.insert(i, value)
+
+    # ------------------------------------------------------------------
+    # introspection / persistence
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._len
+
+    def height(self) -> int:
+        """Tree height (1 for a lone root leaf)."""
+        h, node = 1, self._root
+        while not node.leaf:
+            h += 1
+            node = node.children[0]
+        return h
+
+    def node_count(self) -> int:
+        """Total node count (structure tests)."""
+
+        def count(node: _Node) -> int:
+            if node.leaf:
+                return 1
+            return 1 + sum(count(c) for c in node.children)
+
+        return count(self._root)
+
+    def check_invariants(self) -> None:
+        """Assert B-tree invariants; raises KVStoreError on violation."""
+        t = self._t
+
+        def check(node: _Node, lo: int | None, hi: int | None, is_root: bool, depth: int) -> int:
+            if not is_root and len(node.keys) < t - 1:
+                raise KVStoreError("underfull node")
+            if len(node.keys) > 2 * t - 1:
+                raise KVStoreError("overfull node")
+            for a, b in zip(node.keys, node.keys[1:]):
+                if a >= b:
+                    raise KVStoreError("keys not strictly increasing")
+            if node.keys:
+                if lo is not None and node.keys[0] <= lo:
+                    raise KVStoreError("key below subtree bound")
+                if hi is not None and node.keys[-1] >= hi:
+                    raise KVStoreError("key above subtree bound")
+            if node.leaf:
+                return depth
+            if len(node.children) != len(node.keys) + 1:
+                raise KVStoreError("child count mismatch")
+            depths = set()
+            bounds = [lo, *node.keys, hi]
+            for i, child in enumerate(node.children):
+                depths.add(check(child, bounds[i], bounds[i + 1], False, depth + 1))
+            if len(depths) != 1:
+                raise KVStoreError("leaves at unequal depth")
+            return depths.pop()
+
+        check(self._root, None, None, True, 0)
+
+    def dump(self, path: str | Path) -> int:
+        """Persist live pairs as JSON lines; returns the pair count."""
+        n = 0
+        with open(path, "w", encoding="utf-8") as fh:
+            for key, value in self.range():
+                fh.write(json.dumps([key, value], separators=(",", ":")))
+                fh.write("\n")
+                n += 1
+        self.scans -= 1
+        return n
+
+    @classmethod
+    def load(cls, path: str | Path, min_degree: int = 16) -> "BTreeKVStore":
+        """Rebuild a store from :meth:`dump` output."""
+        store = cls(min_degree=min_degree)
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                key, value = json.loads(line)
+                store.put(int(key), value)
+        store.puts = 0
+        return store
+
+    def approx_bytes(self) -> int:
+        """Approximate resident size of keys + node overhead."""
+        return 64 + self.node_count() * 96 + self._len * 24

@@ -1,0 +1,70 @@
+"""Latency model for the metadata-server simulator.
+
+The paper measured wall-clock latencies on 2008 hardware (Berkeley DB on
+disk behind an object-storage stack); we model the same *structure* with
+configurable constants plus optional lognormal jitter:
+
+* a cache hit costs a memory lookup and a reply;
+* a cache miss adds a Berkeley-DB B-tree lookup touching disk;
+* a prefetch item is cheaper than a demand miss because correlated
+  metadata is batch-read with cursor locality (§4.2's layout argument);
+* the miner charges a small per-request overhead (FARMER's "reasonable
+  overhead" claim is measured, not assumed).
+
+Absolute values are not the point — EXPERIMENTS.md compares shapes and
+ratios, which are governed by hit ratios and queueing, not by constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["LatencyModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyModel:
+    """Service-time constants (nanoseconds) with optional jitter.
+
+    Attributes:
+        cache_hit_ns: demand service time on a metadata-cache hit.
+        kv_lookup_ns: extra time for a Berkeley-DB lookup on a miss.
+        prefetch_item_ns: service time for one prefetched entry.
+        network_ns: one-way client<->MDS latency added to every response.
+        jitter_sigma: lognormal sigma; 0 disables jitter entirely.
+    """
+
+    cache_hit_ns: int = 25_000
+    kv_lookup_ns: int = 450_000
+    prefetch_item_ns: int = 180_000
+    network_ns: int = 0
+    jitter_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.cache_hit_ns, self.kv_lookup_ns, self.prefetch_item_ns) <= 0:
+            raise ConfigError("service times must be positive")
+        if self.network_ns < 0:
+            raise ConfigError("network_ns must be >= 0")
+        if self.jitter_sigma < 0:
+            raise ConfigError("jitter_sigma must be >= 0")
+
+    def _jitter(self, base: int, rng: np.random.Generator | None) -> int:
+        if rng is None or self.jitter_sigma == 0.0:
+            return base
+        factor = float(np.exp(rng.normal(0.0, self.jitter_sigma)))
+        return max(1, int(base * factor))
+
+    def demand_service_ns(
+        self, hit: bool, rng: np.random.Generator | None = None
+    ) -> int:
+        """Service time of a demand request given hit/miss."""
+        base = self.cache_hit_ns if hit else self.cache_hit_ns + self.kv_lookup_ns
+        return self._jitter(base, rng)
+
+    def prefetch_service_ns(self, rng: np.random.Generator | None = None) -> int:
+        """Service time of one prefetch item."""
+        return self._jitter(self.prefetch_item_ns, rng)

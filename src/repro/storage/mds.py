@@ -1,0 +1,158 @@
+"""The metadata server (MDS): cache + Berkeley-DB store + dual queues.
+
+One MDS is a single service unit: it serves requests one at a time, the
+demand queue strictly before the prefetch queue (§4.1's priority
+scheduling). A demand request costs a cache lookup (hit) or a cache
+lookup plus a KV fetch (miss); on completion the prefetch engine observes
+the request and may enqueue speculative loads, which the server performs
+whenever no demand is waiting. All service time is charged through the
+latency model, including the miner's per-request overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.storage.cache import CacheEntry, LRUCache
+from repro.storage.engine import EventLoop
+from repro.storage.kvstore import BTreeKVStore
+from repro.storage.latency import LatencyModel
+from repro.storage.metrics import MetricsCollector
+from repro.storage.prefetch import PrefetchEngine
+from repro.storage.queues import DualRequestQueue
+from repro.storage.requests import MetadataRequest, RequestKind
+
+__all__ = ["MetadataServer"]
+
+
+class MetadataServer:
+    """Event-driven metadata server with FARMER-style prefetching."""
+
+    def __init__(
+        self,
+        engine: EventLoop,
+        kvstore: BTreeKVStore,
+        prefetcher: PrefetchEngine,
+        metrics: MetricsCollector,
+        latency: LatencyModel | None = None,
+        cache_capacity: int = 256,
+        prefetch_limit: int = 64,
+        rng: np.random.Generator | None = None,
+        name: str = "mds0",
+    ) -> None:
+        self.name = name
+        self.engine = engine
+        self.kvstore = kvstore
+        self.prefetcher = prefetcher
+        self.metrics = metrics
+        self.latency = latency if latency is not None else LatencyModel()
+        self.queue = DualRequestQueue(prefetch_limit=prefetch_limit)
+        self.cache = LRUCache(cache_capacity, on_evict=self._on_evict)
+        self._rng = rng
+        self._busy = False
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def submit(self, request: MetadataRequest) -> None:
+        """Enqueue a request and start serving if idle."""
+        self.queue.push(request)
+        self._maybe_start()
+
+    # ------------------------------------------------------------------
+    # service loop
+    # ------------------------------------------------------------------
+
+    def _maybe_start(self) -> None:
+        if self._busy:
+            return
+        request = self.queue.pop()
+        if request is None:
+            return
+        self._busy = True
+        request.start_ns = self.engine.now
+        if request.kind is RequestKind.DEMAND:
+            self._start_demand(request)
+        else:
+            self._start_prefetch(request)
+
+    def _start_demand(self, request: MetadataRequest) -> None:
+        fid = request.fid
+        before = self.cache.peek(fid)
+        first_prefetch_use = (
+            before is not None and before.prefetched and not before.used_since_prefetch
+        )
+        entry = self.cache.lookup(fid)
+        request.hit = entry is not None
+        if first_prefetch_use:
+            self.metrics.prefetch_used += 1
+        service = self.latency.demand_service_ns(request.hit, self._rng)
+        service += self.prefetcher.overhead_ns
+        self.metrics.record_busy(service)
+        self.engine.schedule_after(service, lambda: self._complete_demand(request))
+
+    def _complete_demand(self, request: MetadataRequest) -> None:
+        fid = request.fid
+        if not request.hit:
+            value = self.kvstore.get(fid)
+            if value is None:
+                raise SimulationError(f"fid {fid} missing from metadata store")
+            self.cache.insert(fid, value, prefetched=False)
+        request.completion_ns = self.engine.now
+        self.metrics.record_demand(
+            response_ns=request.response_ns + self.latency.network_ns,
+            wait_ns=request.wait_ns,
+            hit=request.hit,
+        )
+        if request.record is None:
+            raise SimulationError("demand request lacks its trace record")
+        self.prefetcher.observe(request.record)
+        self._issue_prefetches(request)
+        self._busy = False
+        self._maybe_start()
+
+    def _issue_prefetches(self, request: MetadataRequest) -> None:
+        for fid in self.prefetcher.candidates(request.record):
+            if fid == request.fid:
+                continue
+            if self.cache.peek(fid) is not None:
+                continue
+            if self.queue.has_queued_prefetch(fid):
+                continue
+            pf = MetadataRequest(
+                fid=fid, kind=RequestKind.PREFETCH, arrival_ns=self.engine.now
+            )
+            if self.queue.push(pf):
+                self.metrics.prefetch_issued += 1
+            else:
+                self.metrics.prefetch_dropped += 1
+
+    def _start_prefetch(self, request: MetadataRequest) -> None:
+        service = self.latency.prefetch_service_ns(self._rng)
+        self.metrics.record_busy(service)
+        self.engine.schedule_after(service, lambda: self._complete_prefetch(request))
+
+    def _complete_prefetch(self, request: MetadataRequest) -> None:
+        fid = request.fid
+        if self.cache.peek(fid) is not None:
+            # a demand raced us and already loaded it
+            self.metrics.prefetch_redundant += 1
+        else:
+            value = self.kvstore.get(fid)
+            if value is not None:
+                self.cache.insert(fid, value, prefetched=True)
+                self.metrics.prefetch_completed += 1
+            else:
+                self.metrics.prefetch_redundant += 1
+        self._busy = False
+        self._maybe_start()
+
+    # ------------------------------------------------------------------
+    # callbacks
+    # ------------------------------------------------------------------
+
+    def _on_evict(self, key: int, entry: CacheEntry) -> None:
+        if entry.prefetched and not entry.used_since_prefetch:
+            self.metrics.prefetch_wasted += 1

@@ -1,0 +1,119 @@
+"""Measurement: the quantities the paper's evaluation reports.
+
+* **cache hit ratio** — demand hits / demand requests (Figures 3, 5, 7);
+* **prefetch accuracy** — prefetched entries that served a demand hit
+  before eviction, over completed prefetches (Table 3, Figure 7's
+  accuracy discussion);
+* **average response time** — demand arrival→completion (Figures 6, 8);
+* server utilisation, queue statistics and FARMER's memory overhead
+  (Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.stats import OnlineStats, ReservoirSample
+
+__all__ = ["MetricsCollector", "SimulationReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationReport:
+    """Immutable summary of one simulation run."""
+
+    demand_requests: int
+    demand_hits: int
+    prefetch_issued: int
+    prefetch_completed: int
+    prefetch_redundant: int
+    prefetch_dropped: int
+    prefetch_used: int
+    prefetch_wasted: int
+    mean_response_ns: float
+    p50_response_ns: float
+    p95_response_ns: float
+    max_response_ns: float
+    mean_wait_ns: float
+    server_busy_ns: int
+    makespan_ns: int
+    miner_memory_bytes: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Demand cache hit ratio in [0, 1]."""
+        if self.demand_requests == 0:
+            return float("nan")
+        return self.demand_hits / self.demand_requests
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Used / completed prefetches (NaN when nothing was prefetched)."""
+        if self.prefetch_completed == 0:
+            return float("nan")
+        return self.prefetch_used / self.prefetch_completed
+
+    @property
+    def utilization(self) -> float:
+        """Server busy fraction over the simulated makespan."""
+        if self.makespan_ns == 0:
+            return float("nan")
+        return self.server_busy_ns / self.makespan_ns
+
+    @property
+    def mean_response_ms(self) -> float:
+        """Mean demand response time in milliseconds."""
+        return self.mean_response_ns / 1e6
+
+
+class MetricsCollector:
+    """Streaming accumulation during a simulation run."""
+
+    def __init__(self, reservoir_capacity: int = 8192) -> None:
+        self.demand_requests = 0
+        self.demand_hits = 0
+        self.prefetch_issued = 0
+        self.prefetch_completed = 0
+        self.prefetch_redundant = 0
+        self.prefetch_dropped = 0
+        self.prefetch_used = 0
+        self.prefetch_wasted = 0
+        self.server_busy_ns = 0
+        self.makespan_ns = 0
+        self._response = OnlineStats()
+        self._wait = OnlineStats()
+        self._reservoir = ReservoirSample(capacity=reservoir_capacity)
+
+    def record_demand(self, response_ns: int, wait_ns: int, hit: bool) -> None:
+        """Fold one completed demand request into the statistics."""
+        self.demand_requests += 1
+        if hit:
+            self.demand_hits += 1
+        self._response.add(float(response_ns))
+        self._wait.add(float(wait_ns))
+        self._reservoir.add(float(response_ns))
+
+    def record_busy(self, service_ns: int) -> None:
+        """Accumulate server busy time."""
+        self.server_busy_ns += service_ns
+
+    def report(self, miner_memory_bytes: int = 0) -> SimulationReport:
+        """Freeze the current counters into a report."""
+        return SimulationReport(
+            demand_requests=self.demand_requests,
+            demand_hits=self.demand_hits,
+            prefetch_issued=self.prefetch_issued,
+            prefetch_completed=self.prefetch_completed,
+            prefetch_redundant=self.prefetch_redundant,
+            prefetch_dropped=self.prefetch_dropped,
+            prefetch_used=self.prefetch_used,
+            prefetch_wasted=self.prefetch_wasted,
+            mean_response_ns=self._response.mean,
+            p50_response_ns=self._reservoir.percentile(50),
+            p95_response_ns=self._reservoir.percentile(95),
+            max_response_ns=self._response.max if self._response.count else float("nan"),
+            mean_wait_ns=self._wait.mean,
+            server_busy_ns=self.server_busy_ns,
+            makespan_ns=self.makespan_ns,
+            miner_memory_bytes=miner_memory_bytes,
+        )

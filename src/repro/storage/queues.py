@@ -1,0 +1,75 @@
+"""The MDS dual request queues (paper §4.1).
+
+"A metadata server uses two request queues to guarantee the availability
+of service for the demand requests queue that is of higher priority than
+the prefetching request queue." — demand requests always pop first;
+prefetch requests are served only when no demand is waiting, and their
+queue is bounded so a flood of speculative work can never grow without
+limit (overflow drops the *newest* prefetch, which is the least likely to
+be needed soonest under FARMER's sorted Correlator Lists).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ConfigError
+from repro.storage.requests import MetadataRequest, RequestKind
+
+__all__ = ["DualRequestQueue"]
+
+
+class DualRequestQueue:
+    """Two-level non-preemptive priority queue."""
+
+    def __init__(self, prefetch_limit: int = 64) -> None:
+        if prefetch_limit < 0:
+            raise ConfigError("prefetch_limit must be >= 0")
+        self.prefetch_limit = prefetch_limit
+        self._demand: deque[MetadataRequest] = deque()
+        self._prefetch: deque[MetadataRequest] = deque()
+        self._queued_fids: set[int] = set()  # fids with a queued prefetch
+        self.demand_enqueued = 0
+        self.prefetch_enqueued = 0
+        self.prefetch_dropped = 0
+
+    def push(self, request: MetadataRequest) -> bool:
+        """Enqueue; returns False when a prefetch is dropped on overflow."""
+        if request.kind is RequestKind.DEMAND:
+            self._demand.append(request)
+            self.demand_enqueued += 1
+            return True
+        if len(self._prefetch) >= self.prefetch_limit:
+            self.prefetch_dropped += 1
+            return False
+        self._prefetch.append(request)
+        self._queued_fids.add(request.fid)
+        self.prefetch_enqueued += 1
+        return True
+
+    def pop(self) -> MetadataRequest | None:
+        """Next request to serve: demand first, then prefetch, else None."""
+        if self._demand:
+            return self._demand.popleft()
+        if self._prefetch:
+            request = self._prefetch.popleft()
+            self._queued_fids.discard(request.fid)
+            return request
+        return None
+
+    def has_queued_prefetch(self, fid: int) -> bool:
+        """True if a prefetch for ``fid`` is already waiting (dedup)."""
+        return fid in self._queued_fids
+
+    def __len__(self) -> int:
+        return len(self._demand) + len(self._prefetch)
+
+    @property
+    def demand_depth(self) -> int:
+        """Current demand-queue length."""
+        return len(self._demand)
+
+    @property
+    def prefetch_depth(self) -> int:
+        """Current prefetch-queue length."""
+        return len(self._prefetch)

@@ -1,0 +1,44 @@
+"""Request objects flowing through the metadata server."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.traces.record import TraceRecord
+
+__all__ = ["RequestKind", "MetadataRequest"]
+
+
+class RequestKind(Enum):
+    """Demand requests come from clients; prefetch requests from FARMER/Nexus."""
+
+    DEMAND = "demand"
+    PREFETCH = "prefetch"
+
+
+@dataclass(slots=True)
+class MetadataRequest:
+    """One metadata request and its lifecycle timestamps (ns).
+
+    ``record`` is present on demand requests only (the prefetcher needs
+    the semantic attributes); prefetch requests carry just the fid.
+    """
+
+    fid: int
+    kind: RequestKind
+    arrival_ns: int
+    record: TraceRecord | None = None
+    start_ns: int = -1
+    completion_ns: int = -1
+    hit: bool = False
+
+    @property
+    def response_ns(self) -> int:
+        """Arrival→completion latency (valid after completion)."""
+        return self.completion_ns - self.arrival_ns
+
+    @property
+    def wait_ns(self) -> int:
+        """Queueing delay before service started."""
+        return self.start_ns - self.arrival_ns

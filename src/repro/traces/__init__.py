@@ -1,0 +1,48 @@
+"""Trace substrate: the record schema, serialisation, statistics,
+attribute filtering and the synthetic workload generators.
+
+Everything above this layer (the miner, the baselines, the simulator)
+consumes ``TraceRecord`` streams, so real traces can be substituted for
+the synthetic ones by parsing them into this schema via
+:mod:`repro.traces.io`.
+"""
+
+from repro.traces.filters import iter_substreams, partition_key, split_by_attributes
+from repro.traces.io import read_csv, read_jsonl, write_csv, write_jsonl
+from repro.traces.record import (
+    ATTRIBUTE_NAMES,
+    TraceRecord,
+    attribute_tuple,
+    attribute_value,
+)
+from repro.traces.stats import (
+    TraceSummary,
+    filtered_predictability,
+    successor_counts,
+    successor_predictability,
+    summarize_trace,
+)
+from repro.traces.synthetic import TRACE_NAMES, Workload, generate_trace, make_workload
+
+__all__ = [
+    "TraceRecord",
+    "ATTRIBUTE_NAMES",
+    "attribute_value",
+    "attribute_tuple",
+    "read_csv",
+    "write_csv",
+    "read_jsonl",
+    "write_jsonl",
+    "partition_key",
+    "split_by_attributes",
+    "iter_substreams",
+    "successor_counts",
+    "successor_predictability",
+    "filtered_predictability",
+    "TraceSummary",
+    "summarize_trace",
+    "TRACE_NAMES",
+    "Workload",
+    "generate_trace",
+    "make_workload",
+]

@@ -1,0 +1,41 @@
+"""Synthetic workload generators standing in for the paper's traces.
+
+The paper evaluates on four proprietary traces (LLNL, INS, RES, HP); this
+subpackage generates statistically comparable streams — see DESIGN.md §2
+for the substitution argument.
+"""
+
+from repro.traces.synthetic.namespace import Namespace, SyntheticFile
+from repro.traces.synthetic.profiles import (
+    TRACE_NAMES,
+    Workload,
+    generate_trace,
+    make_workload,
+)
+from repro.traces.synthetic.programs import (
+    ProgramSpec,
+    build_program,
+    generate_run_sequence,
+)
+from repro.traces.synthetic.workload import (
+    EngineParams,
+    RunPlan,
+    TraceEngine,
+    zipf_weights,
+)
+
+__all__ = [
+    "Namespace",
+    "SyntheticFile",
+    "TRACE_NAMES",
+    "Workload",
+    "generate_trace",
+    "make_workload",
+    "ProgramSpec",
+    "build_program",
+    "generate_run_sequence",
+    "EngineParams",
+    "RunPlan",
+    "TraceEngine",
+    "zipf_weights",
+]

@@ -1,0 +1,102 @@
+"""Synthetic file-system namespace: directories, files and ids.
+
+The namespace assigns every created file a stable ``fid`` and (optionally)
+a full path. Generators build per-user home trees, shared system trees
+(``/usr/bin``, ``/usr/lib``), project directories and scratch areas, so
+the directory attribute carries the same kind of signal the paper's HP
+trace exposes: files that belong together usually live together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SyntheticFile", "Namespace"]
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticFile:
+    """A file in the synthetic namespace."""
+
+    fid: int
+    path: str
+    dev: int = 0
+    size: int = 0
+    read_only: bool = False
+
+
+@dataclass
+class Namespace:
+    """Grows a file tree and hands out dense fids.
+
+    Paths are plain strings (always ``/``-separated, absolute). The
+    namespace never deletes — traces reference files by fid and the
+    experiments only need creation.
+    """
+
+    _files: list[SyntheticFile] = field(default_factory=list)
+    _by_path: dict[str, int] = field(default_factory=dict)
+
+    def create(
+        self,
+        directory: str,
+        name: str,
+        dev: int = 0,
+        size: int = 0,
+        read_only: bool = False,
+    ) -> SyntheticFile:
+        """Create (or return the existing) file ``directory``/``name``."""
+        directory = directory.rstrip("/") or ""
+        path = f"{directory}/{name}"
+        existing = self._by_path.get(path)
+        if existing is not None:
+            return self._files[existing]
+        fid = len(self._files)
+        f = SyntheticFile(fid=fid, path=path, dev=dev, size=size, read_only=read_only)
+        self._files.append(f)
+        self._by_path[path] = fid
+        return f
+
+    def create_many(
+        self,
+        directory: str,
+        names: list[str],
+        dev: int = 0,
+        size: int = 0,
+        read_only: bool = False,
+    ) -> list[SyntheticFile]:
+        """Create a batch of files in one directory."""
+        return [
+            self.create(directory, name, dev=dev, size=size, read_only=read_only)
+            for name in names
+        ]
+
+    def by_fid(self, fid: int) -> SyntheticFile:
+        """Look up a file by id."""
+        return self._files[fid]
+
+    def by_path(self, path: str) -> SyntheticFile:
+        """Look up a file by its full path.
+
+        Raises:
+            KeyError: if no file with that path exists.
+        """
+        return self._files[self._by_path[path]]
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._by_path
+
+    def files(self) -> list[SyntheticFile]:
+        """All files in fid order (a copy)."""
+        return list(self._files)
+
+    def directories(self) -> set[str]:
+        """The set of parent directories present in the namespace."""
+        out = set()
+        for f in self._files:
+            idx = f.path.rfind("/")
+            out.add(f.path[:idx] if idx > 0 else "/")
+        return out

@@ -1,0 +1,453 @@
+"""The four workload profiles standing in for the paper's traces.
+
+Each builder constructs a file namespace, a program population and a
+:class:`~repro.traces.synthetic.workload.RunFactory` whose statistics
+mirror the environment the paper describes:
+
+* ``llnl`` — parallel scientific applications on a large cluster: a job
+  fans out over many ranks/hosts that share input files and write
+  per-rank checkpoints; extreme interleaving, little cross-job reuse.
+* ``ins`` — instructional HP-UX pool: many students on lab machines all
+  running the same small set of course programs over shared course
+  material; very high reuse. Records carry no path (``fid``+``dev`` only).
+* ``res`` — research desktops: few machines, every user with a private,
+  diverse working set; low reuse. No path information either.
+* ``hp`` — a time-sharing server: hundreds of users on a handful of
+  hosts, a mix of shared system tools and private project trees; full
+  path information is available (this is why the paper's HP results show
+  the largest FARMER advantage).
+
+Absolute scales are reduced relative to the 2008 originals so experiments
+run in seconds; the knobs that drive the paper's *relative* findings
+(concurrency, noise, sharing, path availability) are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.traces.record import TraceRecord
+from repro.traces.synthetic.namespace import Namespace, SyntheticFile
+from repro.traces.synthetic.programs import ProgramSpec, build_program, generate_run_sequence
+from repro.traces.synthetic.workload import (
+    EngineParams,
+    RunPlan,
+    TraceEngine,
+    zipf_weights,
+)
+from repro.utils.rng import derive_rng
+
+__all__ = [
+    "TRACE_NAMES",
+    "Workload",
+    "make_workload",
+    "generate_trace",
+    "NoiseKnobs",
+    "PoolFactory",
+    "ParallelJobFactory",
+]
+
+TRACE_NAMES: tuple[str, ...] = ("llnl", "ins", "res", "hp")
+
+
+@dataclass(frozen=True, slots=True)
+class NoiseKnobs:
+    """Per-profile sequence-perturbation intensities."""
+
+    order_noise: float = 0.1
+    revisit_rate: float = 0.05
+    truncate: float = 0.1
+    subset: float = 1.0
+    head_bias: float = 0.0
+
+
+class PoolFactory:
+    """Runs drawn from a pool of programs with Zipf popularity.
+
+    Programs are either *shared* (any user may run them — course tools,
+    system binaries) or *private* (bound to an owning uid). Users are
+    picked with their own Zipf activity skew; each user is pinned to a
+    small fixed host set.
+
+    ``borrow_rate`` models collaboration: with that probability a run
+    also reads a few consecutive files from *another* program's group
+    (a colleague's sources, a shared dataset). Borrowed files accumulate
+    both contexts in their semantic vectors, which is precisely the
+    multi-user ambiguity the paper says defeats naive predictors — and
+    which FARMER's frequency term + validity threshold filters out.
+    """
+
+    def __init__(
+        self,
+        namespace: Namespace,
+        entries: list[tuple[ProgramSpec, int | None]],
+        user_hosts: dict[int, list[int]],
+        noise: NoiseKnobs,
+        program_zipf_s: float = 1.0,
+        user_zipf_s: float = 0.8,
+        borrow_rate: float = 0.0,
+    ) -> None:
+        if not entries:
+            raise ConfigError("PoolFactory needs at least one program")
+        if not 0.0 <= borrow_rate < 1.0:
+            raise ConfigError("borrow_rate must be in [0, 1)")
+        self.namespace = namespace
+        self._entries = entries
+        self._user_hosts = user_hosts
+        self._users = sorted(user_hosts)
+        self._noise = noise
+        self._borrow_rate = borrow_rate
+        self._program_weights = zipf_weights(len(entries), program_zipf_s)
+        self._user_weights = zipf_weights(len(self._users), user_zipf_s)
+
+    def next_runs(self, rng: np.random.Generator) -> list[RunPlan]:
+        """One run: pick a program, an eligible user, a host, a sequence."""
+        idx = int(rng.choice(len(self._entries), p=self._program_weights))
+        spec, owner = self._entries[idx]
+        if owner is not None:
+            uid = owner
+        else:
+            uid = self._users[int(rng.choice(len(self._users), p=self._user_weights))]
+        hosts = self._user_hosts[uid]
+        host = hosts[int(rng.integers(0, len(hosts)))]
+        files = generate_run_sequence(
+            spec,
+            rng,
+            order_noise=self._noise.order_noise,
+            revisit_rate=self._noise.revisit_rate,
+            truncate=self._noise.truncate,
+            subset=self._noise.subset,
+            head_bias=self._noise.head_bias,
+        )
+        if self._borrow_rate > 0.0 and rng.random() < self._borrow_rate:
+            other_spec, _ = self._entries[int(rng.integers(0, len(self._entries)))]
+            if other_spec.program_id != spec.program_id and len(other_spec.group) >= 2:
+                take = int(rng.integers(2, min(4, len(other_spec.group)) + 1))
+                start = int(rng.integers(0, len(other_spec.group) - take + 1))
+                borrowed = list(other_spec.group[start : start + take])
+                at = int(rng.integers(1, len(files) + 1))
+                files[at:at] = borrowed
+        return [RunPlan(uid=uid, host=host, program_id=spec.program_id, files=files)]
+
+
+@dataclass(frozen=True, slots=True)
+class ParallelApp:
+    """One LLNL-style parallel application."""
+
+    program_id: int
+    owner_uid: int
+    binary: SyntheticFile
+    shared_inputs: tuple[SyntheticFile, ...]
+    rank_files: tuple[tuple[SyntheticFile, ...], ...]  # [rank][k]
+
+
+class ParallelJobFactory:
+    """LLNL-style jobs: every job yields one run per rank.
+
+    All ranks read the binary and shared inputs in the same order, then
+    touch their private checkpoint files; the engine's interleaving of the
+    ranks produces the heavily mixed global stream characteristic of
+    parallel I/O traces.
+    """
+
+    def __init__(
+        self,
+        namespace: Namespace,
+        apps: list[ParallelApp],
+        n_hosts: int,
+        noise: NoiseKnobs,
+        app_zipf_s: float = 0.9,
+    ) -> None:
+        if not apps:
+            raise ConfigError("ParallelJobFactory needs at least one app")
+        self.namespace = namespace
+        self._apps = apps
+        self._n_hosts = n_hosts
+        self._noise = noise
+        self._weights = zipf_weights(len(apps), app_zipf_s)
+
+    def next_runs(self, rng: np.random.Generator) -> list[RunPlan]:
+        """Plan one job: one RunPlan per rank on distinct hosts."""
+        app = self._apps[int(rng.choice(len(self._apps), p=self._weights))]
+        ranks = len(app.rank_files)
+        hosts = rng.choice(self._n_hosts, size=min(ranks, self._n_hosts), replace=False)
+        plans = []
+        for rank in range(ranks):
+            files: list[SyntheticFile] = [app.binary, *app.shared_inputs]
+            private = list(app.rank_files[rank])
+            if len(private) > 1 and rng.random() < self._noise.order_noise:
+                swap = int(rng.integers(0, len(private) - 1))
+                private[swap], private[swap + 1] = private[swap + 1], private[swap]
+            files.extend(private)
+            plans.append(
+                RunPlan(
+                    uid=app.owner_uid,
+                    host=int(hosts[rank % len(hosts)]),
+                    program_id=app.program_id,
+                    files=files,
+                )
+            )
+        return plans
+
+
+@dataclass(frozen=True, slots=True)
+class Workload:
+    """A fully wired workload: namespace + engine, ready to generate."""
+
+    name: str
+    namespace: Namespace
+    engine: TraceEngine
+    params: EngineParams
+
+    def generate(self, n_events: int) -> list[TraceRecord]:
+        """Generate ``n_events`` trace records."""
+        return self.engine.generate(n_events)
+
+
+def _make_lib_pool(ns: Namespace, count: int, dev: int = 0) -> list[SyntheticFile]:
+    return ns.create_many(
+        "/usr/lib", [f"lib{i:02d}.so" for i in range(count)], dev=dev, read_only=True
+    )
+
+
+def _pick_libs(
+    pool: list[SyntheticFile], rng: np.random.Generator, lo: int, hi: int
+) -> list[SyntheticFile]:
+    k = int(rng.integers(lo, hi + 1))
+    idx = rng.choice(len(pool), size=min(k, len(pool)), replace=False)
+    return [pool[i] for i in sorted(int(i) for i in idx)]
+
+
+def _build_ins(seed: int) -> Workload:
+    """Instructional pool: shared courseware, massive reuse, no paths."""
+    rng = derive_rng(seed, "ins-population")
+    ns = Namespace()
+    libs = _make_lib_pool(ns, 24, dev=1)
+    n_users, n_hosts = 48, 20
+    user_hosts = {uid: [uid % n_hosts] for uid in range(n_users)}
+    entries: list[tuple[ProgramSpec, int | None]] = []
+    for p in range(10):
+        spec = build_program(
+            ns,
+            program_id=p,
+            name=f"course{p:02d}",
+            group_dir=f"/courses/cs{100 + p}",
+            group_size=int(rng.integers(10, 19)),
+            libraries=_pick_libs(libs, rng, 3, 6),
+            dev=1,
+        )
+        entries.append((spec, None))
+    # private scratch files: touched only through background noise
+    for uid in range(n_users):
+        ns.create_many(
+            f"/home/stu{uid:03d}", [f"hw{i}.txt" for i in range(8)], dev=2
+        )
+    factory = PoolFactory(
+        ns,
+        entries,
+        user_hosts,
+        NoiseKnobs(order_noise=0.15, revisit_rate=0.08, truncate=0.08, subset=0.7),
+        program_zipf_s=1.1,
+        user_zipf_s=0.6,
+    )
+    params = EngineParams(
+        concurrency=10,
+        mean_interarrival_ns=500_000,
+        random_access_rate=0.02,
+        include_paths=False,
+        stat_rate=0.1,
+        pid_space=240,
+        burst_mean=3.5,
+    )
+    engine = TraceEngine(factory, params, derive_rng(seed, "ins-engine"))
+    return Workload("ins", ns, engine, params)
+
+
+def _build_res(seed: int) -> Workload:
+    """Research desktops: private diverse working sets, no paths."""
+    rng = derive_rng(seed, "res-population")
+    ns = Namespace()
+    libs = _make_lib_pool(ns, 40, dev=1)
+    n_users, n_hosts = 26, 13
+    user_hosts = {uid: [uid % n_hosts] for uid in range(n_users)}
+    entries: list[tuple[ProgramSpec, int | None]] = []
+    pid_counter = 0
+    for uid in range(n_users):
+        for k in range(5):
+            spec = build_program(
+                ns,
+                program_id=pid_counter,
+                name=f"u{uid:02d}tool{k}",
+                group_dir=f"/home/res{uid:02d}/proj{k}",
+                group_size=int(rng.integers(12, 22)),
+                libraries=_pick_libs(libs, rng, 3, 6),
+                dev=2 + uid % 11,
+            )
+            entries.append((spec, uid))
+            pid_counter += 1
+    factory = PoolFactory(
+        ns,
+        entries,
+        user_hosts,
+        NoiseKnobs(order_noise=0.16, revisit_rate=0.10, truncate=0.15, subset=0.5, head_bias=3.0),
+        program_zipf_s=0.85,
+        user_zipf_s=0.8,
+        borrow_rate=0.35,
+    )
+    params = EngineParams(
+        concurrency=10,
+        mean_interarrival_ns=500_000,
+        random_access_rate=0.05,
+        include_paths=False,
+        stat_rate=0.12,
+        pid_space=320,
+        burst_mean=4.0,
+    )
+    engine = TraceEngine(factory, params, derive_rng(seed, "res-engine"))
+    return Workload("res", ns, engine, params)
+
+
+def _build_hp(seed: int) -> Workload:
+    """Time-sharing server: many users, few hosts, full path info."""
+    rng = derive_rng(seed, "hp-population")
+    ns = Namespace()
+    libs = _make_lib_pool(ns, 32, dev=0)
+    n_users, n_hosts = 60, 4
+    user_hosts = {
+        uid: sorted({uid % n_hosts, int(rng.integers(0, n_hosts))})
+        for uid in range(n_users)
+    }
+    entries: list[tuple[ProgramSpec, int | None]] = []
+    pid_counter = 0
+    for p in range(24):  # shared system tools
+        spec = build_program(
+            ns,
+            program_id=pid_counter,
+            name=f"tool{p:02d}",
+            group_dir=f"/usr/share/tool{p:02d}",
+            group_size=int(rng.integers(6, 12)),
+            libraries=_pick_libs(libs, rng, 3, 7),
+            dev=0,
+        )
+        entries.append((spec, None))
+        pid_counter += 1
+    for uid in range(n_users):  # two private project trees per user
+        for k in range(2):
+            spec = build_program(
+                ns,
+                program_id=pid_counter,
+                name=f"u{uid:03d}proj{k}",
+                group_dir=f"/home/user{uid:03d}/work/proj{k}/src",
+                group_size=int(rng.integers(6, 12)),
+                libraries=_pick_libs(libs, rng, 2, 5),
+                bin_dir=f"/home/user{uid:03d}/bin",
+                dev=0,
+            )
+            entries.append((spec, uid))
+            pid_counter += 1
+    factory = PoolFactory(
+        ns,
+        entries,
+        user_hosts,
+        NoiseKnobs(order_noise=0.12, revisit_rate=0.08, truncate=0.10, subset=0.65),
+        program_zipf_s=1.0,
+        user_zipf_s=0.75,
+    )
+    params = EngineParams(
+        concurrency=12,
+        mean_interarrival_ns=500_000,
+        random_access_rate=0.03,
+        include_paths=True,
+        stat_rate=0.1,
+        pid_space=320,
+        burst_mean=5.0,
+    )
+    engine = TraceEngine(factory, params, derive_rng(seed, "hp-engine"))
+    return Workload("hp", ns, engine, params)
+
+
+def _build_llnl(seed: int) -> Workload:
+    """Parallel scientific cluster: jobs fan out over ranks and hosts."""
+    rng = derive_rng(seed, "llnl-population")
+    ns = Namespace()
+    n_hosts = 64
+    n_apps, ranks = 16, 12
+    apps: list[ParallelApp] = []
+    for a in range(n_apps):
+        binary = ns.create("/apps/bin", f"sim{a:02d}", read_only=True)
+        inputs = tuple(
+            ns.create_many(
+                f"/data/sim{a:02d}/input",
+                [f"mesh{i:02d}.dat" for i in range(int(rng.integers(6, 11)))],
+                size=4 * 1024 * 1024,
+                read_only=True,
+            )
+        )
+        rank_files = tuple(
+            tuple(
+                ns.create_many(
+                    f"/scratch/sim{a:02d}/rank{r:03d}",
+                    [f"ckpt{i}.bin" for i in range(6)],
+                    size=16 * 1024 * 1024,
+                )
+            )
+            for r in range(ranks)
+        )
+        apps.append(
+            ParallelApp(
+                program_id=a,
+                owner_uid=a % 8,
+                binary=binary,
+                shared_inputs=inputs,
+                rank_files=rank_files,
+            )
+        )
+    factory = ParallelJobFactory(
+        ns,
+        apps,
+        n_hosts=n_hosts,
+        noise=NoiseKnobs(order_noise=0.05, revisit_rate=0.0, truncate=0.0),
+        app_zipf_s=0.9,
+    )
+    params = EngineParams(
+        concurrency=ranks,
+        mean_interarrival_ns=650_000,
+        random_access_rate=0.01,
+        include_paths=True,
+        stat_rate=0.05,
+        pid_space=480,
+        burst_mean=2.0,
+    )
+    engine = TraceEngine(factory, params, derive_rng(seed, "llnl-engine"))
+    return Workload("llnl", ns, engine, params)
+
+
+_BUILDERS = {
+    "ins": _build_ins,
+    "res": _build_res,
+    "hp": _build_hp,
+    "llnl": _build_llnl,
+}
+
+
+def make_workload(name: str, seed: int = 0) -> Workload:
+    """Build a named workload (see :data:`TRACE_NAMES`).
+
+    Raises:
+        ConfigError: for an unknown workload name.
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown trace {name!r}; expected one of {TRACE_NAMES}"
+        ) from None
+    return builder(seed)
+
+
+def generate_trace(name: str, n_events: int, seed: int = 0) -> list[TraceRecord]:
+    """Generate ``n_events`` records of the named synthetic trace."""
+    return make_workload(name, seed).generate(n_events)

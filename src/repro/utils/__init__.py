@@ -1,0 +1,32 @@
+"""Shared utilities: deterministic RNG plumbing, string interning,
+streaming statistics, memory accounting and table rendering.
+
+These are deliberately dependency-light; everything above them in the
+package graph (traces, vsm, graph, core, storage) builds on these
+primitives.
+"""
+
+from repro.utils.intern import Interner
+from repro.utils.memory import MemoryMeter, approx_sizeof
+from repro.utils.rng import derive_rng, spawn_rngs
+from repro.utils.stats import (
+    OnlineMean,
+    OnlineStats,
+    ReservoirSample,
+    percentile,
+)
+from repro.utils.tables import format_table, format_percent
+
+__all__ = [
+    "Interner",
+    "MemoryMeter",
+    "approx_sizeof",
+    "derive_rng",
+    "spawn_rngs",
+    "OnlineMean",
+    "OnlineStats",
+    "ReservoirSample",
+    "percentile",
+    "format_table",
+    "format_percent",
+]

@@ -1,0 +1,82 @@
+"""Memory accounting for the Table 4 (space overhead) reproduction.
+
+``sys.getsizeof`` does not recurse and wildly under-reports container
+payloads, so we provide a small structural accountant: components that
+want to appear in the space-overhead table implement ``approx_bytes()``
+and register themselves with a :class:`MemoryMeter`. This mirrors how the
+paper reports FARMER's *additional* footprint (Correlator Lists plus
+per-file bookkeeping), not the resident size of the whole process.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Mapping, Sequence
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = ["approx_sizeof", "MemoryMeter", "SupportsApproxBytes"]
+
+
+@runtime_checkable
+class SupportsApproxBytes(Protocol):
+    """Anything that can report its approximate resident size in bytes."""
+
+    def approx_bytes(self) -> int:  # pragma: no cover - protocol stub
+        ...
+
+
+def approx_sizeof(obj: Any, _depth: int = 0) -> int:
+    """Recursively approximate the resident size of a Python object.
+
+    Containers are charged for their own header plus their elements;
+    recursion is depth-capped to keep pathological self-referencing
+    structures from looping (shared sub-objects are double counted, which
+    is the conservative direction for an *overhead* estimate).
+    """
+    if _depth > 8:
+        return sys.getsizeof(obj)
+    if isinstance(obj, SupportsApproxBytes) and not isinstance(obj, type):
+        return obj.approx_bytes()
+    size = sys.getsizeof(obj)
+    if isinstance(obj, Mapping):
+        size += sum(
+            approx_sizeof(k, _depth + 1) + approx_sizeof(v, _depth + 1)
+            for k, v in obj.items()
+        )
+    elif isinstance(obj, (list, tuple, set, frozenset)) or (
+        isinstance(obj, Sequence) and not isinstance(obj, (str, bytes, bytearray))
+    ):
+        size += sum(approx_sizeof(item, _depth + 1) for item in obj)
+    return size
+
+
+class MemoryMeter:
+    """Aggregates the approximate footprint of named components.
+
+    Components are registered once and re-measured on demand so the meter
+    can be sampled repeatedly while a simulation runs (Table 4 reports the
+    final value; the ablation benches sample the growth curve).
+    """
+
+    def __init__(self) -> None:
+        self._components: dict[str, Any] = {}
+
+    def register(self, name: str, component: Any) -> None:
+        """Track ``component`` under ``name`` (replaces a previous entry)."""
+        self._components[name] = component
+
+    def unregister(self, name: str) -> None:
+        """Stop tracking ``name``; missing names are ignored."""
+        self._components.pop(name, None)
+
+    def measure(self) -> dict[str, int]:
+        """Bytes per registered component at this instant."""
+        return {name: approx_sizeof(c) for name, c in self._components.items()}
+
+    def total_bytes(self) -> int:
+        """Sum of all component footprints."""
+        return sum(self.measure().values())
+
+    def total_megabytes(self) -> float:
+        """Total footprint in MB (10^6 bytes, as the paper reports)."""
+        return self.total_bytes() / 1e6

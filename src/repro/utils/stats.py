@@ -1,0 +1,132 @@
+"""Streaming statistics used by the simulator's metric collection.
+
+The metadata-server simulator processes hundreds of thousands of events;
+storing every response time and post-processing would dominate memory.
+These accumulators are O(1) per observation (Welford for mean/variance,
+bounded reservoir for percentiles) which keeps the measurement machinery
+invisible in profiles, as the optimisation guide prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["OnlineMean", "OnlineStats", "ReservoirSample", "percentile"]
+
+
+class OnlineMean:
+    """Numerically stable streaming mean (no variance tracking)."""
+
+    __slots__ = ("count", "mean")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the mean."""
+        self.count += 1
+        self.mean += (value - self.mean) / self.count
+
+    def merge(self, other: "OnlineMean") -> None:
+        """Combine with another accumulator (order-independent)."""
+        total = self.count + other.count
+        if total == 0:
+            return
+        self.mean = (self.mean * self.count + other.mean * other.count) / total
+        self.count = total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OnlineMean(count={self.count}, mean={self.mean:.6g})"
+
+
+class OnlineStats:
+    """Welford streaming mean/variance/min/max."""
+
+    __slots__ = ("count", "mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, value: float) -> None:
+        """Fold one observation into mean/variance/extremes."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def variance(self) -> float:
+        """Population variance; 0.0 with fewer than two observations."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return self.variance**0.5
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OnlineStats(count={self.count}, mean={self.mean:.6g}, "
+            f"std={self.stddev:.6g}, min={self.min:.6g}, max={self.max:.6g})"
+        )
+
+
+@dataclass
+class ReservoirSample:
+    """Vitter reservoir sampling for streaming percentile estimates.
+
+    Keeps a uniform sample of at most ``capacity`` observations from a
+    stream of unknown length; percentiles computed from the reservoir are
+    unbiased estimates of the stream percentiles.
+    """
+
+    capacity: int = 4096
+    seed: int = 0
+    count: int = 0
+    _values: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("reservoir capacity must be positive")
+        self._rng = np.random.default_rng(self.seed)
+
+    def add(self, value: float) -> None:
+        """Offer one observation to the reservoir."""
+        self.count += 1
+        if len(self._values) < self.capacity:
+            self._values.append(value)
+            return
+        slot = int(self._rng.integers(0, self.count))
+        if slot < self.capacity:
+            self._values[slot] = value
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (q in [0, 100]) of the stream."""
+        if not self._values:
+            return float("nan")
+        return float(np.percentile(self._values, q))
+
+    def values(self) -> np.ndarray:
+        """Snapshot of the current reservoir contents."""
+        return np.asarray(self._values, dtype=np.float64)
+
+
+def percentile(values: np.ndarray | list[float], q: float) -> float:
+    """Percentile helper that tolerates empty inputs (returns NaN)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.percentile(arr, q))

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for the experiment harness.
+
+Every experiment prints its result in the same row/column layout as the
+paper's table or figure legend, so a reader can diff our output against
+the publication side by side. No third-party table library — the format
+is deliberately boring and stable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+__all__ = ["format_table", "format_percent", "format_float"]
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    """Render a ratio in [0,1] as the paper's percent notation (e.g. 64.04%)."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_float(value: float, digits: int = 4) -> str:
+    """Render a float with fixed digits, NaN-safe."""
+    if value != value:  # NaN
+        return "nan"
+    return f"{value:.{digits}f}"
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return format_float(value)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Column widths are computed from the content; floats are shown with
+    four digits unless the caller pre-formats them into strings.
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

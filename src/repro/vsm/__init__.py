@@ -1,0 +1,28 @@
+"""Vector Space Model machinery: vocabularies, semantic vectors and the
+DPA/IPA similarity functions (the paper's Function 1 and Table 2)."""
+
+from repro.vsm.matrix import SemanticMatrix
+from repro.vsm.path import parent_directory, tokenize_path
+from repro.vsm.similarity import (
+    SIMILARITY_METHODS,
+    directory_similarity,
+    dpa_similarity,
+    ipa_similarity,
+    similarity,
+)
+from repro.vsm.vector import SemanticVector, bag_intersection
+from repro.vsm.vocabulary import Vocabulary
+
+__all__ = [
+    "SemanticMatrix",
+    "parent_directory",
+    "tokenize_path",
+    "SIMILARITY_METHODS",
+    "directory_similarity",
+    "dpa_similarity",
+    "ipa_similarity",
+    "similarity",
+    "SemanticVector",
+    "bag_intersection",
+    "Vocabulary",
+]

@@ -1,0 +1,85 @@
+"""Bulk semantic-vector storage as a sparse matrix.
+
+The paper stores semantic vectors "as columns of a single matrix" and
+computes similarities with basic vector operations. For the *online*
+miner the per-pair merge in :mod:`repro.vsm.similarity` is faster, but
+the offline analyses (attribute studies, clustering for the layout
+application) want all-pairs similarity over thousands of files at once —
+that is what this module vectorises with scipy.sparse.
+
+The matrix uses set semantics (an item is present or absent); duplicate
+items within one vector are collapsed, which only matters for DPA vectors
+containing repeated path components and is documented behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.vsm.vector import SemanticVector
+
+__all__ = ["SemanticMatrix"]
+
+
+class SemanticMatrix:
+    """Accumulates vectors and computes bulk pairwise similarities."""
+
+    def __init__(self) -> None:
+        self._rows: list[tuple[int, ...]] = []
+        self._keys: list[int] = []
+
+    def add(self, key: int, vector: SemanticVector) -> None:
+        """Append a vector under an opaque integer key (e.g. a fid)."""
+        self._rows.append(tuple(sorted(set(vector.dpa_items()))))
+        self._keys.append(key)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def keys(self) -> list[int]:
+        """Keys in insertion order (matrix row order)."""
+        return list(self._keys)
+
+    def to_csr(self) -> sp.csr_matrix:
+        """Binary file-by-item CSR matrix."""
+        indptr = [0]
+        indices: list[int] = []
+        for row in self._rows:
+            indices.extend(row)
+            indptr.append(len(indices))
+        n_cols = (max(indices) + 1) if indices else 0
+        data = np.ones(len(indices), dtype=np.float64)
+        return sp.csr_matrix(
+            (data, np.asarray(indices, dtype=np.int64), np.asarray(indptr, dtype=np.int64)),
+            shape=(len(self._rows), n_cols),
+        )
+
+    def pairwise_dpa(self) -> np.ndarray:
+        """All-pairs DPA similarity (set semantics): |A∩B| / max(|A|, |B|).
+
+        Returns a dense (n, n) symmetric matrix with unit diagonal for
+        non-empty vectors. O(n²) output — intended for analysis scales
+        (thousands of files), not trace scales.
+        """
+        m = self.to_csr()
+        inter = (m @ m.T).toarray()
+        sizes = np.asarray(m.sum(axis=1)).ravel()
+        denom = np.maximum.outer(sizes, sizes)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.where(denom > 0, inter / denom, 0.0)
+        return out
+
+    def nearest(self, index: int, k: int = 10) -> list[tuple[int, float]]:
+        """The ``k`` most similar vectors to row ``index`` (key, sim) pairs."""
+        m = self.to_csr()
+        row = m.getrow(index)
+        inter = np.asarray((m @ row.T).todense()).ravel()
+        sizes = np.asarray(m.sum(axis=1)).ravel()
+        denom = np.maximum(sizes, sizes[index])
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sims = np.where(denom > 0, inter / denom, 0.0)
+        sims[index] = -1.0  # exclude self
+        order = np.argsort(-sims)[:k]
+        return [(self._keys[i], float(sims[i])) for i in order if sims[i] > 0.0]

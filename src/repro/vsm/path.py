@@ -1,0 +1,29 @@
+"""Path tokenisation for the Divided/Integrated Path Algorithms.
+
+A path is split into its components *including the final file name* —
+the paper's Table 2 example counts ``/home/user1/paper/a`` as four
+components (``home``, ``user1``, ``paper``, ``a``) and uses that count as
+the denominator of the directory similarity.
+"""
+
+from __future__ import annotations
+
+__all__ = ["tokenize_path", "parent_directory"]
+
+
+def tokenize_path(path: str) -> tuple[str, ...]:
+    """Split a path into its non-empty components.
+
+    Leading/trailing/duplicate slashes are tolerated; relative paths
+    tokenize the same way (no special root marker — similarity is about
+    shared components, not absoluteness).
+    """
+    return tuple(part for part in path.split("/") if part)
+
+
+def parent_directory(path: str) -> str:
+    """Parent directory of ``path`` ("/" for top-level entries)."""
+    idx = path.rstrip("/").rfind("/")
+    if idx <= 0:
+        return "/"
+    return path[:idx]

@@ -1,0 +1,84 @@
+"""Semantic vectors: the VSM representation of one file (or request).
+
+A vector holds the interned scalar items (user, process, host, device,
+file-id, …) plus — when the trace provides one — the ordered, interned
+path components. The split lets the two path algorithms coexist:
+
+* DPA treats every path component as one more scalar item;
+* IPA treats the whole path as a single item whose match value against
+  another path is the *directory similarity* (a fraction in [0, 1]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SemanticVector", "bag_intersection"]
+
+
+def bag_intersection(a: tuple[int, ...], b: tuple[int, ...]) -> int:
+    """Multiset intersection size of two *sorted* id tuples (linear merge)."""
+    i = j = hits = 0
+    na, nb = len(a), len(b)
+    while i < na and j < nb:
+        ai, bj = a[i], b[j]
+        if ai == bj:
+            hits += 1
+            i += 1
+            j += 1
+        elif ai < bj:
+            i += 1
+        else:
+            j += 1
+    return hits
+
+
+@dataclass(frozen=True, slots=True)
+class SemanticVector:
+    """Immutable semantic vector of a file.
+
+    Attributes:
+        scalar_ids: sorted interned ids of the scalar items.
+        path_ids: interned path-component ids in path order, or ``None``
+            when the trace carries no path for this file.
+    """
+
+    scalar_ids: tuple[int, ...]
+    path_ids: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if list(self.scalar_ids) != sorted(self.scalar_ids):
+            object.__setattr__(self, "scalar_ids", tuple(sorted(self.scalar_ids)))
+
+    def n_items(self, method: str) -> int:
+        """Item count under a path algorithm ("dpa" or "ipa").
+
+        Under DPA every path component is an item; under IPA the whole
+        path is one item.
+        """
+        n = len(self.scalar_ids)
+        if self.path_ids is not None:
+            if method == "dpa":
+                n += len(self.path_ids)
+            elif method == "ipa":
+                n += 1
+            else:
+                raise ValueError(f"unknown path method {method!r}")
+        return n
+
+    def dpa_items(self) -> tuple[int, ...]:
+        """All items under DPA semantics, sorted (scalars + path comps)."""
+        if self.path_ids is None:
+            return self.scalar_ids
+        return tuple(sorted((*self.scalar_ids, *self.path_ids)))
+
+    def sorted_path_ids(self) -> tuple[int, ...]:
+        """Path component ids sorted for bag intersection ((), if no path)."""
+        if self.path_ids is None:
+            return ()
+        return tuple(sorted(self.path_ids))
+
+    def approx_bytes(self) -> int:
+        """Approximate resident size (memory-overhead accounting)."""
+        n = len(self.scalar_ids) + (len(self.path_ids) if self.path_ids else 0)
+        return 64 + 8 * n

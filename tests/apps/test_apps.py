@@ -1,0 +1,136 @@
+"""Tests for the §4.2/§4.3 applications (layout, grouping, security)."""
+
+import pytest
+
+from repro.apps.grouping import SecurityRulePropagator, build_replica_groups
+from repro.apps.layout import (
+    evaluate_layout,
+    plan_arrival_layout,
+    plan_correlation_layout,
+)
+from repro.core.config import FarmerConfig
+from repro.core.farmer import Farmer
+from tests.conftest import sequence_records
+
+
+@pytest.fixture
+def mined_farmer():
+    """Two strongly correlated triples with distinct semantic contexts."""
+    farmer = Farmer(FarmerConfig(max_strength=0.0))
+    for r in sequence_records([1, 2, 3] * 15, uid=1, pid=5, host=1, path="/a/x"):
+        farmer.observe(r)
+    for r in sequence_records([7, 8, 9] * 15, uid=2, pid=6, host=2, path="/b/y"):
+        farmer.observe(r)
+    return farmer
+
+
+class TestArrivalLayout:
+    def test_first_access_order_dedup(self):
+        plan = plan_arrival_layout([3, 1, 3, 2, 1])
+        assert plan.placement_order() == [3, 1, 2]
+        assert plan.n_groups == 3
+
+
+class TestCorrelationLayout:
+    def test_groups_correlated_files(self, mined_farmer):
+        plan = plan_correlation_layout(
+            [1, 2, 3, 7, 8, 9], mined_farmer, lambda fid: True, group_limit=3
+        )
+        first_group = plan.groups[0]
+        assert first_group[0] == 1
+        assert set(first_group) <= {1, 2, 3}
+        assert len(first_group) > 1
+
+    def test_mutable_files_alone(self, mined_farmer):
+        plan = plan_correlation_layout(
+            [1, 2, 3], mined_farmer, lambda fid: False, group_limit=4
+        )
+        assert all(len(g) == 1 for g in plan.groups)
+
+    def test_no_double_placement(self, mined_farmer):
+        plan = plan_correlation_layout(
+            [1, 2, 3, 7, 8, 9, 1, 2], mined_farmer, lambda fid: True
+        )
+        order = plan.placement_order()
+        assert len(order) == len(set(order))
+
+    def test_group_limit_enforced(self, mined_farmer):
+        plan = plan_correlation_layout(
+            [1, 2, 3], mined_farmer, lambda fid: True, group_limit=2
+        )
+        assert all(len(g) <= 2 for g in plan.groups)
+
+    def test_group_limit_validation(self, mined_farmer):
+        with pytest.raises(ValueError):
+            plan_correlation_layout([1], mined_farmer, lambda f: True, group_limit=0)
+
+
+class TestEvaluateLayout:
+    def test_grouped_layout_fewer_seeks(self, mined_farmer):
+        order = [1, 2, 3, 7, 8, 9]
+        sizes = {fid: 4096 for fid in order}
+        batches = [[1, 2, 3], [7, 8, 9]] * 10
+        arrival = evaluate_layout(plan_arrival_layout([1, 7, 2, 8, 3, 9]), batches, sizes)
+        grouped = evaluate_layout(
+            plan_correlation_layout(order, mined_farmer, lambda f: True, group_limit=3),
+            batches,
+            sizes,
+        )
+        assert grouped.total_seeks < arrival.total_seeks
+        assert grouped.total_latency_ns < arrival.total_latency_ns
+
+    def test_unknown_files_skipped(self, mined_farmer):
+        ev = evaluate_layout(plan_arrival_layout([1]), [[99]], {1: 1024})
+        assert ev.n_batches == 0
+        assert ev.mean_seeks_per_batch != ev.mean_seeks_per_batch  # NaN
+
+
+class TestReplicaGroups:
+    def test_strong_pairs_grouped(self, mined_farmer):
+        groups = build_replica_groups(
+            mined_farmer, [1, 2, 3, 7, 8, 9], min_strength=0.3, max_group_size=4
+        )
+        assert groups.group_of[1] == groups.group_of[2]
+        assert groups.group_of[1] != groups.group_of[7]
+        assert set(groups.group_members(7)) <= {7, 8, 9}
+
+    def test_size_cap(self, mined_farmer):
+        groups = build_replica_groups(
+            mined_farmer, [1, 2, 3, 7, 8, 9], min_strength=0.1, max_group_size=2
+        )
+        assert all(len(m) <= 2 for m in groups.members.values())
+
+    def test_singletons_without_strength(self, mined_farmer):
+        groups = build_replica_groups(
+            mined_farmer, [1, 2, 3], min_strength=1.0, max_group_size=8
+        )
+        assert groups.n_groups == 3
+
+    def test_validation(self, mined_farmer):
+        with pytest.raises(ValueError):
+            build_replica_groups(mined_farmer, [1], max_group_size=0)
+
+
+class TestSecurityPropagation:
+    def test_rule_reaches_correlates(self, mined_farmer):
+        prop = SecurityRulePropagator(mined_farmer, min_strength=0.3, max_hops=1)
+        covered = prop.assign(1, "no-delete")
+        assert 1 in covered
+        assert covered & {2, 3}
+        assert "no-delete" in prop.rules_of(1)
+
+    def test_does_not_cross_weak_links(self, mined_farmer):
+        prop = SecurityRulePropagator(mined_farmer, min_strength=0.3, max_hops=2)
+        covered = prop.assign(1, "rule")
+        assert 7 not in covered  # different group, no strong edge
+
+    def test_zero_hops_only_self(self, mined_farmer):
+        prop = SecurityRulePropagator(mined_farmer, min_strength=0.0, max_hops=0)
+        assert prop.assign(1, "r") == {1}
+
+    def test_rules_accumulate(self, mined_farmer):
+        prop = SecurityRulePropagator(mined_farmer, min_strength=0.3)
+        prop.assign(1, "a")
+        prop.assign(1, "b")
+        assert prop.rules_of(1) == {"a", "b"}
+        assert prop.rules_of(999) == set()

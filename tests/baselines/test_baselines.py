@@ -1,0 +1,209 @@
+"""Tests for the baseline predictors."""
+
+import pytest
+
+from repro.baselines import (
+    FirstSuccessor,
+    LastSuccessor,
+    Nexus,
+    NoopPredictor,
+    ProbabilityGraph,
+    ProgramBasedSuccessor,
+    ProgramUserLastSuccessor,
+    RecentPopularity,
+    SDGraph,
+    StableSuccessor,
+    make_predictor,
+    observe_all,
+    predictor_names,
+)
+from repro.errors import ConfigError
+from tests.conftest import make_record, sequence_records
+
+
+class TestLastSuccessor:
+    def test_predicts_last(self):
+        p = observe_all(LastSuccessor(), sequence_records([1, 2, 1, 3]))
+        assert p.predict(1) == [3]
+
+    def test_unknown_empty(self):
+        assert LastSuccessor().predict(9) == []
+
+    def test_self_succession_ignored(self):
+        p = observe_all(LastSuccessor(), sequence_records([1, 1, 2]))
+        assert p.predict(1) == [2]
+
+    def test_k_zero(self):
+        p = observe_all(LastSuccessor(), sequence_records([1, 2]))
+        assert p.predict(1, k=0) == []
+
+
+class TestFirstSuccessor:
+    def test_never_changes(self):
+        p = observe_all(FirstSuccessor(), sequence_records([1, 2, 1, 3, 1, 4]))
+        assert p.predict(1) == [2]
+
+
+class TestStableSuccessor:
+    def test_requires_patience(self):
+        p = StableSuccessor(patience=2)
+        observe_all(p, sequence_records([1, 2]))
+        assert p.predict(1) == [2]
+        observe_all(p, sequence_records([1, 3]))  # one deviation: keep 2
+        assert p.predict(1) == [2]
+        observe_all(p, sequence_records([1, 3]))  # second in a row: switch
+        assert p.predict(1) == [3]
+
+    def test_deviation_reset_on_confirmation(self):
+        p = StableSuccessor(patience=2)
+        observe_all(p, sequence_records([1, 2, 1, 3, 1, 2, 1, 3]))
+        assert p.predict(1) == [2]
+
+    def test_patience_validation(self):
+        with pytest.raises(ValueError):
+            StableSuccessor(patience=0)
+
+
+class TestRecentPopularity:
+    def test_best_j_of_k(self):
+        p = RecentPopularity(j=2, k=4)
+        observe_all(p, sequence_records([1, 2, 1, 3, 1, 2, 1, 4]))
+        # recent successors of 1: [2, 3, 2, 4]; only 2 qualifies (j=2)
+        assert p.predict(1) == [2]
+
+    def test_no_qualifier(self):
+        p = RecentPopularity(j=2, k=4)
+        observe_all(p, sequence_records([1, 2, 1, 3]))
+        assert p.predict(1) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecentPopularity(j=3, k=2)
+        with pytest.raises(ValueError):
+            RecentPopularity(j=0, k=2)
+
+
+class TestProbabilityGraph:
+    def test_chance(self):
+        p = ProbabilityGraph(window=1, min_chance=0.0)
+        observe_all(p, sequence_records([1, 2, 1, 2, 1, 3]))
+        assert p.chance(1, 2) == pytest.approx(2 / 3)
+        assert p.chance(1, 3) == pytest.approx(1 / 3)
+
+    def test_min_chance_filters(self):
+        p = ProbabilityGraph(window=1, min_chance=0.5)
+        observe_all(p, sequence_records([1, 2, 1, 2, 1, 3, 1, 4]))
+        assert p.predict(1, k=4) == [2]
+
+    def test_window_counts_uniformly(self):
+        p = ProbabilityGraph(window=3, min_chance=0.0)
+        observe_all(p, sequence_records([1, 2, 3, 4]))
+        # 2, 3 and 4 all follow 1 within the window, equally weighted
+        assert p.chance(1, 2) == p.chance(1, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbabilityGraph(window=0)
+        with pytest.raises(ValueError):
+            ProbabilityGraph(min_chance=1.5)
+
+
+class TestSDGraph:
+    def test_relatedness_decays_with_distance(self):
+        p = SDGraph(horizon=5)
+        observe_all(p, sequence_records([1, 2, 9, 9, 9]))
+        observe_all(p, sequence_records([1, 8, 8, 8, 3]))
+        assert p.relatedness(1, 2) > p.relatedness(1, 3)
+
+    def test_predict_orders_by_proximity(self):
+        p = SDGraph(horizon=4)
+        observe_all(p, sequence_records([1, 2, 3] * 10))
+        assert p.predict(1, k=2)[0] == 2
+
+    def test_unseen(self):
+        assert SDGraph().predict(5) == []
+        assert SDGraph().relatedness(1, 2) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SDGraph(horizon=0)
+
+
+class TestNexus:
+    def test_lda_weighting(self):
+        p = Nexus(window=3)
+        observe_all(p, sequence_records([1, 2, 3, 4]))
+        assert p.edge_weight(1, 2) == pytest.approx(1.0)
+        assert p.edge_weight(1, 3) == pytest.approx(0.9)
+        assert p.edge_weight(1, 4) == pytest.approx(0.8)
+
+    def test_predicts_top_by_weight(self):
+        p = Nexus(window=1)
+        observe_all(p, sequence_records([1, 2, 1, 2, 1, 3]))
+        assert p.predict(1, k=2) == [2, 3]
+
+    def test_group_size_default(self):
+        p = Nexus(group_size=3)
+        observe_all(p, sequence_records([1, 2, 3, 4, 5, 1, 2, 3, 4, 5]))
+        assert len(p.predict(1)) <= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Nexus(group_size=0)
+
+    def test_approx_bytes(self):
+        p = Nexus()
+        observe_all(p, sequence_records(range(50)))
+        assert p.approx_bytes() > 0
+
+
+class TestPBS:
+    def test_conditioned_on_pid(self):
+        p = ProgramBasedSuccessor()
+        # pid 1 runs 1->2, pid 2 runs 1->3, interleaved
+        p.observe(make_record(1, pid=1))
+        p.observe(make_record(1, pid=2))
+        p.observe(make_record(2, pid=1))
+        p.observe(make_record(3, pid=2))
+        # fid 1 last seen under pid 2 -> successor 3
+        assert p.predict(1) == [3]
+
+    def test_unknown(self):
+        assert ProgramBasedSuccessor().predict(1) == []
+
+
+class TestPULS:
+    def test_conditioned_on_pid_and_uid(self):
+        p = ProgramUserLastSuccessor()
+        p.observe(make_record(1, pid=1, uid=1))
+        p.observe(make_record(2, pid=1, uid=1))
+        p.observe(make_record(1, pid=1, uid=2))
+        p.observe(make_record(5, pid=1, uid=2))
+        assert p.predict(1) == [5]  # last condition was (pid 1, uid 2)
+
+
+class TestNoop:
+    def test_never_predicts(self):
+        p = observe_all(NoopPredictor(), sequence_records([1, 2, 3]))
+        assert p.predict(1, k=10) == []
+
+
+class TestRegistry:
+    def test_all_names_constructible(self):
+        for name in predictor_names():
+            predictor = make_predictor(name)
+            observe_all(predictor, sequence_records([1, 2, 3, 1, 2, 3]))
+            predictor.predict(1, 2)  # must not raise
+
+    def test_expected_names(self):
+        names = predictor_names()
+        for expected in ("nexus", "last_successor", "probability_graph", "noop"):
+            assert expected in names
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            make_predictor("oracle")
+
+    def test_kwargs_forwarded(self):
+        p = make_predictor("nexus", group_size=7)
+        assert p.group_size == 7

@@ -1,0 +1,54 @@
+"""Shared fixtures: small deterministic traces and record builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.record import TraceRecord
+from repro.traces.synthetic import generate_trace
+
+
+def make_record(
+    fid: int,
+    ts: int = 0,
+    uid: int = 1,
+    pid: int = 100,
+    host: int = 1,
+    path: str | None = None,
+    op: str = "open",
+    size: int = 0,
+    dev: int = 0,
+) -> TraceRecord:
+    """Terse record builder for unit tests."""
+    return TraceRecord(
+        ts=ts, fid=fid, uid=uid, pid=pid, host=host, path=path, op=op, size=size, dev=dev
+    )
+
+
+def sequence_records(fids, **kwargs) -> list[TraceRecord]:
+    """Records for a plain fid sequence with increasing timestamps."""
+    return [make_record(fid, ts=i * 1000, **kwargs) for i, fid in enumerate(fids)]
+
+
+@pytest.fixture(scope="session")
+def hp_trace():
+    """A small deterministic HP trace shared across tests."""
+    return generate_trace("hp", 1500, seed=7)
+
+
+@pytest.fixture(scope="session")
+def ins_trace():
+    """A small deterministic INS trace (no paths)."""
+    return generate_trace("ins", 1500, seed=7)
+
+
+@pytest.fixture(scope="session")
+def res_trace():
+    """A small deterministic RES trace (no paths)."""
+    return generate_trace("res", 1500, seed=7)
+
+
+@pytest.fixture(scope="session")
+def llnl_trace():
+    """A small deterministic LLNL trace."""
+    return generate_trace("llnl", 1500, seed=7)

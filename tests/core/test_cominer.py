@@ -1,0 +1,111 @@
+"""Focused tests for Stage 3 (CoMiner) and the experiment helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cominer import CoMiner
+from repro.core.config import FarmerConfig
+from repro.core.constructor import GraphConstructor
+from repro.core.extractor import Extractor
+from repro.core.farmer import Farmer
+from repro.experiments.common import (
+    TRACE_CACHE_CAPACITY,
+    cached_trace,
+    farmer_config_for,
+    make_fpa,
+    make_lru,
+    make_nexus_prefetcher,
+    mean,
+    sim_config_for,
+    trace_attributes,
+)
+from tests.conftest import sequence_records
+
+
+def build_miner(config: FarmerConfig):
+    extractor = Extractor(config.attributes)
+    constructor = GraphConstructor(config, extractor)
+    return constructor, CoMiner(config, constructor)
+
+
+class TestCoMiner:
+    def test_reevaluate_builds_list(self):
+        cfg = FarmerConfig(max_strength=0.0)
+        constructor, miner = build_miner(cfg)
+        for r in sequence_records([1, 2, 3] * 5, path="/d/x"):
+            constructor.observe(r)
+        lst = miner.reevaluate(1)
+        assert len(lst) > 0
+        assert lst.is_sorted()
+
+    def test_stale_entries_dropped_after_graph_eviction(self):
+        cfg = FarmerConfig(max_strength=0.0, successor_capacity=2, window=1)
+        constructor, miner = build_miner(cfg)
+        # successors of 0 churn: 1,2,3 but capacity 2
+        for r in sequence_records([0, 1, 0, 1, 0, 2, 0, 3]):
+            constructor.observe(r)
+            miner.reevaluate(r.fid)
+        lst = miner.reevaluate(0)
+        live = set(constructor.graph.successors(0))
+        assert {e.fid for e in lst.entries()} <= live
+
+    def test_semantic_distance_unknown_zero(self):
+        cfg = FarmerConfig()
+        _, miner = build_miner(cfg)
+        assert miner.semantic_distance(1, 2) == 0.0
+
+    def test_degree_bounds(self):
+        """R is always within [0, 1] regardless of the mined stream."""
+        cfg = FarmerConfig(max_strength=0.0)
+        constructor, miner = build_miner(cfg)
+        for r in sequence_records([1, 2, 1, 2, 2, 1, 3, 1, 2] * 4, path="/a/b"):
+            constructor.observe(r)
+        for src in (1, 2, 3):
+            for dst in (1, 2, 3):
+                assert 0.0 <= miner.correlation_degree(src, dst) <= 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=8), min_size=2, max_size=80))
+    def test_lists_always_sorted_and_thresholded(self, fids):
+        """Invariants hold for arbitrary access streams."""
+        farmer = Farmer(FarmerConfig(max_strength=0.3))
+        for r in sequence_records(fids):
+            farmer.observe(r)
+        for fid in set(fids):
+            lst = farmer.miner.list_of(fid)
+            if lst is None:
+                continue
+            assert lst.is_sorted()
+            assert all(e.degree > 0.3 for e in lst.entries())
+
+
+class TestExperimentCommonHelpers:
+    def test_trace_attributes(self):
+        assert "path" in trace_attributes("hp")
+        assert "file" in trace_attributes("ins")
+
+    def test_sim_config_per_trace(self):
+        for trace, cap in TRACE_CACHE_CAPACITY.items():
+            assert sim_config_for(trace).cache_capacity == cap
+        assert sim_config_for("hp", cache_capacity=5).cache_capacity == 5
+
+    def test_farmer_config_overrides(self):
+        cfg = farmer_config_for("res", weight_p=0.2)
+        assert cfg.weight_p == 0.2
+        assert cfg.attributes == trace_attributes("res")
+
+    def test_factories(self):
+        assert make_fpa("hp").farmer.config.attributes == trace_attributes("hp")
+        assert make_nexus_prefetcher(group_size=3).k == 3
+        assert make_lru().candidates(None) == []
+
+    def test_cached_trace_identity(self):
+        a = cached_trace("hp", 300, 1)
+        b = cached_trace("hp", 300, 1)
+        assert a is b
+        assert len(a) == 300
+
+    def test_mean_skips_nan(self):
+        assert mean([1.0, float("nan"), 3.0]) == pytest.approx(2.0)
+        assert mean([]) != mean([])  # NaN

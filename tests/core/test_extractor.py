@@ -1,0 +1,52 @@
+"""Tests for Stage 1 (Extracting)."""
+
+from repro.core.extractor import Extractor
+from repro.vsm.vocabulary import Vocabulary
+from tests.conftest import make_record
+
+
+class TestExtractor:
+    def test_scalar_items(self):
+        ex = Extractor(("user", "process"))
+        v = ex.extract(make_record(1, uid=5, pid=9))
+        assert len(v.scalar_ids) == 2
+        assert v.path_ids is None
+
+    def test_path_tokenised(self):
+        ex = Extractor(("user", "path"))
+        v = ex.extract(make_record(1, uid=5, path="/a/b/c"))
+        assert v.path_ids is not None
+        assert len(v.path_ids) == 3
+
+    def test_missing_path_skipped(self):
+        ex = Extractor(("user", "path"))
+        v = ex.extract(make_record(1, uid=5, path=None))
+        assert v.path_ids is None
+        assert len(v.scalar_ids) == 1
+
+    def test_shared_vocabulary_comparable(self):
+        vocab = Vocabulary()
+        ex1 = Extractor(("user",), vocab)
+        ex2 = Extractor(("user",), vocab)
+        v1 = ex1.extract(make_record(1, uid=5))
+        v2 = ex2.extract(make_record(2, uid=5))
+        assert v1.scalar_ids == v2.scalar_ids
+
+    def test_same_value_different_attr_distinct(self):
+        ex = Extractor(("user", "process"))
+        v = ex.extract(make_record(1, uid=7, pid=7))
+        assert len(set(v.scalar_ids)) == 2
+
+    def test_file_attribute(self):
+        ex = Extractor(("file", "dev"))
+        v1 = ex.extract(make_record(1, dev=0))
+        v2 = ex.extract(make_record(2, dev=0))
+        # fid differs, dev matches
+        assert len(set(v1.scalar_ids) & set(v2.scalar_ids)) == 1
+
+    def test_approx_bytes(self):
+        ex = Extractor(("user", "path"))
+        before = ex.approx_bytes()
+        for i in range(50):
+            ex.extract(make_record(i, uid=i, path=f"/d/{i}"))
+        assert ex.approx_bytes() > before

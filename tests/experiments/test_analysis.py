@@ -1,0 +1,82 @@
+"""Tests for the analysis extensions (regression, predictor evaluation)."""
+
+import math
+
+import pytest
+
+from repro.analysis.predictor_eval import evaluate_predictor, evaluate_predictors
+from repro.analysis.regression import fit_attribute_regression
+from repro.baselines import LastSuccessor, NoopPredictor
+from repro.core.farmer import Farmer
+from repro.experiments.extensions import run_predictors, run_regression
+from tests.conftest import sequence_records
+
+
+class TestEvaluatePredictor:
+    def test_perfect_on_deterministic_stream(self):
+        records = sequence_records([1, 2, 3] * 30)
+        score = evaluate_predictor(records, LastSuccessor(), k=1, warmup=5)
+        assert score.accuracy > 0.9
+        assert score.coverage > 0.9
+
+    def test_noop_has_no_predictions(self):
+        records = sequence_records([1, 2, 3] * 5)
+        score = evaluate_predictor(records, NoopPredictor(), k=1)
+        assert score.predictions == 0
+        assert math.isnan(score.accuracy)
+        assert score.coverage == 0.0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            evaluate_predictor([], NoopPredictor(), k=0)
+
+    def test_farmer_satisfies_protocol(self, hp_trace):
+        score = evaluate_predictor(hp_trace[:400], Farmer(), k=3)
+        assert 0.0 <= score.accuracy <= 1.0
+
+    def test_evaluate_many_sorted(self, hp_trace):
+        scores = evaluate_predictors(
+            hp_trace[:400], {"ls": LastSuccessor(), "noop": NoopPredictor()}, k=1
+        )
+        assert scores[0].name == "ls"  # noop's NaN sorts last
+
+
+class TestRegression:
+    def test_fits_on_hp(self, hp_trace):
+        fit = fit_attribute_regression(hp_trace)
+        assert set(fit.feature_names) == {"user", "process", "host", "path"}
+        assert fit.n_observations > 50
+        assert -1.0 <= fit.r_squared <= 1.0
+
+    def test_pathless_trace_drops_path_feature(self, ins_trace):
+        fit = fit_attribute_regression(ins_trace)
+        assert "path" not in fit.feature_names
+
+    def test_too_few_pairs_raises(self):
+        with pytest.raises(ValueError):
+            fit_attribute_regression(sequence_records([1, 2]))
+
+    def test_summary_rows_complete(self, hp_trace):
+        fit = fit_attribute_regression(hp_trace[:800])
+        rows = dict(fit.summary_rows())
+        assert "R^2" in rows and "(intercept)" in rows
+
+    def test_process_agreement_predicts_correlation(self, hp_trace):
+        """Same-process overlap should be a positive predictor — the
+        regression-level restatement of Figure 1's pid bar."""
+        fit = fit_attribute_regression(hp_trace)
+        coefs = dict(fit.ranked_attributes())
+        assert coefs["process"] > 0
+
+
+class TestExtensionExperiments:
+    def test_run_predictors(self):
+        result = run_predictors(n_events=1200, seeds=(1,))
+        acc = result.data["accuracy"]
+        assert "FARMER" in acc and "Nexus" in acc
+        assert acc["LastSuccessor"] < max(acc.values())
+
+    def test_run_regression(self):
+        result = run_regression(n_events=1200)
+        assert "process" in result.data["coefficients"]
+        assert result.render()

@@ -1,0 +1,159 @@
+"""Integration tests: every experiment runs at reduced scale and its
+paper-shape acceptance criteria (DESIGN.md §5) hold."""
+
+import math
+
+import pytest
+
+from repro.experiments import fig1, fig3, fig5, fig6, fig7, fig8
+from repro.experiments import ablations, layout_experiment, table2, table3, table4
+
+SMALL = {"n_events": 2500, "seeds": (1, 2)}
+
+
+@pytest.fixture(scope="module")
+def fig1_result():
+    return fig1.run(**SMALL)
+
+
+@pytest.fixture(scope="module")
+def fig7_result():
+    return fig7.run(n_events=4000, seeds=(1, 2))
+
+
+class TestFig1:
+    def test_none_is_lowest_everywhere(self, fig1_result):
+        for trace, per_filter in fig1_result.data["matrix"].items():
+            none_p = per_filter["none"]
+            for label, value in per_filter.items():
+                if label == "none" or math.isnan(value):
+                    continue
+                assert value > none_p, f"{trace}: {label} not above 'none'"
+
+    def test_attributes_differ_across_traces(self, fig1_result):
+        matrix = fig1_result.data["matrix"]
+        pid_values = [matrix[t]["pid"] for t in matrix]
+        assert max(pid_values) - min(pid_values) > 0.01
+
+    def test_renders(self, fig1_result):
+        out = fig1_result.render()
+        assert "none" in out and "hp" in out
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3.run(
+            n_events=2500, seeds=(1, 2), traces=("hp",), thresholds=(0.2, 0.4, 0.8)
+        )
+
+    def test_hit_declines_at_high_threshold(self, result):
+        series = result.data["matrix"]["hp"][0.7]
+        assert series[0.8] < series[0.4]
+
+    def test_blend_beats_extremes_at_operating_point(self, result):
+        at_04 = {p: s[0.4] for p, s in result.data["matrix"]["hp"].items()}
+        assert at_04[0.7] > at_04[0.0]
+        assert at_04[0.7] >= at_04[1.0] - 0.02  # within noise of semantics-only
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5.run(n_events=2500, seeds=(1,), traces=("hp",))
+
+    def test_fifteen_combinations(self, result):
+        assert len(result.data["matrix"]["hp"]) == 15
+
+    def test_spread_is_visible(self, result):
+        values = list(result.data["matrix"]["hp"].values())
+        assert max(values) - min(values) > 0.005  # >= 0.5pp
+
+
+class TestFig6:
+    def test_knee_shape(self):
+        result = fig6.run(n_events=2500, seeds=(1, 2), thresholds=(0.2, 0.4, 0.9))
+        series = result.data["series"]
+        # response at the operating point is no worse than slightly above
+        # the low-threshold value, and clearly better than at 0.9
+        assert series[0.4] <= series[0.2] * 1.05
+        assert series[0.4] < series[0.9]
+
+
+class TestFig7:
+    def test_fpa_highest_everywhere(self, fig7_result):
+        for trace, per_policy in fig7_result.data["matrix"].items():
+            fpa = per_policy["FPA"]["hit_ratio"]
+            assert fpa > per_policy["Nexus"]["hit_ratio"], trace
+            assert fpa > per_policy["LRU"]["hit_ratio"], trace
+
+    def test_fpa_accuracy_beats_nexus(self, fig7_result):
+        for trace, per_policy in fig7_result.data["matrix"].items():
+            assert (
+                per_policy["FPA"]["accuracy"] > per_policy["Nexus"]["accuracy"]
+            ), trace
+
+
+class TestFig8:
+    def test_fpa_fastest(self):
+        result = fig8.run(n_events=4000, seeds=(1, 2), traces=("hp", "llnl"))
+        for trace, rts in result.data["matrix"].items():
+            assert rts["FPA"] < rts["Nexus"], trace
+            assert rts["FPA"] < rts["LRU"], trace
+
+
+class TestTable2:
+    def test_exact_match(self):
+        result = table2.run()
+        assert result.data["all_match"]
+
+    def test_renders_all_pairs(self):
+        out = table2.run().render()
+        for cell in ("0.7143", "0.6875", "0.0625"):
+            assert cell in out
+
+
+class TestTable3:
+    def test_accuracy_gap(self):
+        result = table3.run(n_events=4000, seeds=(1, 2))
+        measured = result.data["measured"]
+        assert measured["FARMER"] - measured["Nexus"] > 0.10
+
+
+class TestTable4:
+    def test_ordering_and_bound(self):
+        result = table4.run(n_events=2500)
+        matrix = result.data["matrix"]
+        per_file = {t: matrix[t]["bytes_per_file"] for t in matrix}
+        assert all(v > 0 for v in per_file.values())
+        extrapolated = {t: matrix[t]["extrapolated_mb"] for t in matrix}
+        # paper ordering: LLNL >> HP > RES > INS
+        assert extrapolated["llnl"] > extrapolated["hp"]
+        assert extrapolated["hp"] > extrapolated["res"]
+        assert extrapolated["res"] > extrapolated["ins"]
+        # same order of magnitude as the paper's <100MB-class numbers
+        assert extrapolated["llnl"] < 2000
+
+
+class TestAblations:
+    def test_dpa_ipa(self):
+        result = ablations.run_dpa_ipa(n_events=2500, seeds=(1, 2), traces=("hp",))
+        per = result.data["matrix"]["hp"]
+        assert per["ipa"] >= per["dpa"] - 0.02
+
+    def test_lda(self):
+        result = ablations.run_lda(n_events=2500, seeds=(1,), traces=("hp",))
+        assert set(result.data["matrix"]["hp"]) == {"lda", "uniform"}
+
+    def test_sv_policy_merge_wins_on_shared_workload(self):
+        result = ablations.run_sv_policy(n_events=2500, seeds=(1, 2), traces=("ins",))
+        per = result.data["matrix"]["ins"]
+        assert per["merge"] > per["latest"] - 0.02
+        assert per["merge"] > per["first"] - 0.02
+
+
+class TestLayout:
+    def test_grouping_reduces_seeks(self):
+        result = layout_experiment.run(n_events=2500, seeds=(1,))
+        assert result.data["seek_ratio"] < 1.0
+        assert result.data["latency_ratio"] < 1.0

@@ -1,0 +1,70 @@
+"""Tests for the experiment registry and the CLI."""
+
+import pytest
+
+from repro.errors import UnknownExperimentError
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    experiment_ids,
+    get_experiment,
+    run_experiment,
+)
+from repro.cli import build_parser, main
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        ids = set(experiment_ids())
+        for required in (
+            "fig1",
+            "fig3",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "table2",
+            "table3",
+            "table4",
+        ):
+            assert required in ids
+
+    def test_get_known(self):
+        exp = get_experiment("fig7")
+        assert exp.paper_artifact == "Figure 7"
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownExperimentError):
+            get_experiment("fig99")
+
+    def test_run_experiment_kwargs(self):
+        result = run_experiment("table2")
+        assert result.experiment_id == "table2"
+
+    def test_descriptor_ids_consistent(self):
+        for key, exp in EXPERIMENTS.items():
+            assert key == exp.experiment_id
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "table4" in out
+
+    def test_run_table2(self, capsys):
+        assert main(["run", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "0.7143" in out
+
+    def test_run_with_scale(self, capsys):
+        assert main(["run", "fig1", "--events", "800", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,122 @@
+"""Tests for the directed weighted correlation graph."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph.correlation_graph import CorrelationGraph
+
+
+class TestObserve:
+    def test_paper_abcd_example(self):
+        """Access ABCD: N_AB=1.0, N_AC=0.9, N_AD=0.8 (§3.2.2)."""
+        g = CorrelationGraph(window=3)
+        for fid in (0, 1, 2, 3):
+            g.observe(fid)
+        succ = g.successors(0)
+        assert succ[1].weighted_count == pytest.approx(1.0)
+        assert succ[2].weighted_count == pytest.approx(0.9)
+        assert succ[3].weighted_count == pytest.approx(0.8)
+
+    def test_window_limits_reach(self):
+        g = CorrelationGraph(window=1)
+        for fid in (0, 1, 2):
+            g.observe(fid)
+        assert 2 not in g.successors(0)
+        assert 2 in g.successors(1)
+
+    def test_self_edges_skipped(self):
+        g = CorrelationGraph(window=2)
+        g.observe(5)
+        g.observe(5)
+        assert 5 not in g.successors(5)
+
+    def test_touched_predecessors_returned(self):
+        g = CorrelationGraph(window=2)
+        g.observe(0)
+        g.observe(1)
+        touched = g.observe(2)
+        assert set(touched) == {0, 1}
+
+    def test_duplicate_window_entries_counted_once(self):
+        g = CorrelationGraph(window=4)
+        for fid in (7, 1, 7, 2):
+            g.observe(fid)
+        # 7 appears twice in the window before 2; only the nearest counts
+        assert g.successors(7)[2].weighted_count == pytest.approx(1.0)
+
+    def test_access_count_raw(self):
+        g = CorrelationGraph()
+        for fid in (1, 2, 1, 1):
+            g.observe(fid)
+        assert g.access_count(1) == 3
+        assert g.access_count(99) == 0
+
+
+class TestFrequency:
+    def test_definition(self):
+        """F(A,B) = weighted N_AB / raw N_A."""
+        g = CorrelationGraph(window=1)
+        for fid in (0, 1, 0, 1, 0, 2):
+            g.observe(fid)
+        # N_0 = 3; edges 0->1 twice (weight 2.0), 0->2 once (1.0)
+        assert g.frequency(0, 1) == pytest.approx(2.0 / 3.0)
+        assert g.frequency(0, 2) == pytest.approx(1.0 / 3.0)
+
+    def test_missing_edge_zero(self):
+        g = CorrelationGraph()
+        g.observe(0)
+        assert g.frequency(0, 1) == 0.0
+        assert g.frequency(9, 0) == 0.0
+
+    def test_capped_at_one(self):
+        g = CorrelationGraph(window=4)
+        # file 0 accessed once, then many successors within the window
+        for fid in (0, 1, 0, 1, 0, 1):
+            g.observe(fid)
+        assert g.frequency(0, 1) <= 1.0
+
+    def test_frequencies_bulk(self):
+        g = CorrelationGraph(window=2)
+        for fid in (0, 1, 2):
+            g.observe(fid)
+        freqs = g.frequencies(0)
+        assert set(freqs) == {1, 2}
+        assert freqs[1] == g.frequency(0, 1)
+
+
+class TestCapacity:
+    def test_successor_eviction(self):
+        g = CorrelationGraph(window=1, successor_capacity=2)
+        # successors of 0: three distinct, weakest should be evicted
+        for fid in (0, 1, 0, 1, 0, 2, 0, 3):
+            g.observe(fid)
+        succ = g.successors(0)
+        assert len(succ) == 2
+        assert 1 in succ  # strongest retained
+
+    def test_counts(self):
+        g = CorrelationGraph(window=2)
+        for fid in (0, 1, 2, 0):
+            g.observe(fid)
+        assert g.n_nodes() == 3
+        assert g.n_edges() > 0
+        assert set(g.nodes()) == {0, 1, 2}
+
+    def test_window_contents(self):
+        g = CorrelationGraph(window=3)
+        for fid in (1, 2, 3, 4):
+            g.observe(fid)
+        assert g.window_contents() == (2, 3, 4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CorrelationGraph(window=0)
+        with pytest.raises(ConfigError):
+            CorrelationGraph(successor_capacity=0)
+
+    def test_approx_bytes_grows(self):
+        g = CorrelationGraph()
+        empty = g.approx_bytes()
+        for fid in range(100):
+            g.observe(fid)
+        assert g.approx_bytes() > empty

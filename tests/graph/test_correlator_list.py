@@ -1,0 +1,136 @@
+"""Tests for the sorted, thresholded Correlator List."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.graph.correlator_list import CorrelatorList
+
+
+class TestThreshold:
+    def test_below_threshold_rejected(self):
+        lst = CorrelatorList(threshold=0.4)
+        assert not lst.update(1, 0.4)  # strict: must exceed
+        assert not lst.update(2, 0.1)
+        assert len(lst) == 0
+
+    def test_above_threshold_accepted(self):
+        lst = CorrelatorList(threshold=0.4)
+        assert lst.update(1, 0.41)
+        assert 1 in lst
+
+    def test_decay_below_threshold_removes(self):
+        lst = CorrelatorList(threshold=0.4)
+        lst.update(1, 0.9)
+        assert not lst.update(1, 0.2)
+        assert 1 not in lst
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CorrelatorList(threshold=1.5)
+        with pytest.raises(ConfigError):
+            CorrelatorList(capacity=0)
+
+
+class TestSorting:
+    def test_descending_order(self):
+        lst = CorrelatorList()
+        for fid, degree in ((1, 0.5), (2, 0.9), (3, 0.7)):
+            lst.update(fid, degree)
+        assert [e.fid for e in lst.entries()] == [2, 3, 1]
+        assert lst.is_sorted()
+
+    def test_rerank_moves_entry(self):
+        lst = CorrelatorList()
+        lst.update(1, 0.5)
+        lst.update(2, 0.6)
+        lst.update(1, 0.95)
+        assert [e.fid for e in lst.entries()] == [1, 2]
+
+    def test_tie_broken_by_fid(self):
+        lst = CorrelatorList()
+        lst.update(9, 0.5)
+        lst.update(3, 0.5)
+        assert [e.fid for e in lst.entries()] == [3, 9]
+
+    def test_top_k(self):
+        lst = CorrelatorList()
+        for fid in range(5):
+            lst.update(fid, 0.1 * (fid + 1))
+        top = lst.top(2)
+        assert [e.fid for e in top] == [4, 3]
+        assert lst.top(100) == lst.entries()
+
+
+class TestCapacity:
+    def test_weakest_evicted(self):
+        lst = CorrelatorList(capacity=3)
+        for fid, degree in ((1, 0.9), (2, 0.8), (3, 0.7), (4, 0.75)):
+            lst.update(fid, degree)
+        assert len(lst) == 3
+        assert 3 not in lst
+        assert 4 in lst
+
+    def test_update_returns_false_when_self_evicted(self):
+        lst = CorrelatorList(capacity=2)
+        lst.update(1, 0.9)
+        lst.update(2, 0.8)
+        assert not lst.update(3, 0.1)  # weakest, immediately evicted
+        assert 3 not in lst
+
+
+class TestMisc:
+    def test_degree_of(self):
+        lst = CorrelatorList()
+        lst.update(1, 0.66)
+        assert lst.degree_of(1) == 0.66
+        assert lst.degree_of(2) is None
+
+    def test_discard(self):
+        lst = CorrelatorList()
+        lst.update(1, 0.5)
+        lst.discard(1)
+        lst.discard(99)  # no-op
+        assert len(lst) == 0
+
+    def test_same_degree_update_noop(self):
+        lst = CorrelatorList()
+        lst.update(1, 0.5)
+        assert lst.update(1, 0.5)
+        assert len(lst) == 1
+
+    def test_iter(self):
+        lst = CorrelatorList()
+        lst.update(1, 0.5)
+        assert [e.fid for e in lst] == [1]
+
+    def test_approx_bytes(self):
+        lst = CorrelatorList()
+        empty = lst.approx_bytes()
+        for fid in range(10):
+            lst.update(fid, 0.5 + fid * 0.01)
+        assert lst.approx_bytes() > empty
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            ),
+            max_size=60,
+        )
+    )
+    def test_invariants_under_arbitrary_updates(self, updates):
+        """Sortedness, threshold and capacity hold after any sequence."""
+        lst = CorrelatorList(threshold=0.3, capacity=5)
+        for fid, degree in updates:
+            lst.update(fid, degree)
+        entries = lst.entries()
+        assert lst.is_sorted()
+        assert len(entries) <= 5
+        assert all(e.degree > 0.3 for e in entries)
+        fids = [e.fid for e in entries]
+        assert len(fids) == len(set(fids))  # no duplicates

@@ -1,0 +1,53 @@
+"""Tests for the Linear Decremented Assignment weights."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph.lda import lda_weight, uniform_weight, weight_schedule
+
+
+class TestLdaWeight:
+    def test_paper_example(self):
+        """ABCD: B adds 1.0, C adds 0.9, D adds 0.8 (§3.2.2)."""
+        assert lda_weight(1) == pytest.approx(1.0)
+        assert lda_weight(2) == pytest.approx(0.9)
+        assert lda_weight(3) == pytest.approx(0.8)
+
+    def test_floor(self):
+        assert lda_weight(100, decrement=0.1, floor=0.05) == pytest.approx(0.05)
+        assert lda_weight(100, decrement=0.1, floor=0.0) == pytest.approx(0.0)
+
+    def test_custom_decrement(self):
+        assert lda_weight(2, decrement=0.25) == pytest.approx(0.75)
+
+    def test_monotone_decreasing(self):
+        weights = [lda_weight(d) for d in range(1, 12)]
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            lda_weight(0)
+        with pytest.raises(ConfigError):
+            lda_weight(1, decrement=1.5)
+        with pytest.raises(ConfigError):
+            lda_weight(1, floor=-0.1)
+
+
+class TestUniformWeight:
+    def test_always_one(self):
+        assert uniform_weight(1) == 1.0
+        assert uniform_weight(99) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            uniform_weight(0)
+
+
+class TestSchedule:
+    def test_lookup(self):
+        assert weight_schedule("lda") is lda_weight
+        assert weight_schedule("uniform") is uniform_weight
+
+    def test_unknown(self):
+        with pytest.raises(ConfigError):
+            weight_schedule("exp")

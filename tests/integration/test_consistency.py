@@ -1,0 +1,73 @@
+"""Cross-component consistency checks: independent implementations of the
+same quantity must agree."""
+
+import pytest
+
+import repro
+from repro.core.extractor import Extractor
+from repro.vsm.matrix import SemanticMatrix
+from repro.vsm.similarity import dpa_similarity
+from repro.vsm.vocabulary import Vocabulary
+
+
+class TestBulkVsOnlineSimilarity:
+    def test_matrix_matches_pairwise_dpa(self, hp_trace):
+        """The vectorised all-pairs DPA must equal the online merge-based
+        DPA for duplicate-free vectors."""
+        extractor = Extractor(("user", "process", "host", "path"), Vocabulary())
+        seen = {}
+        for r in hp_trace:
+            if r.fid not in seen:
+                seen[r.fid] = extractor.extract(r)
+            if len(seen) == 25:
+                break
+        matrix = SemanticMatrix()
+        vectors = list(seen.items())
+        for fid, vec in vectors:
+            matrix.add(fid, vec)
+        bulk = matrix.pairwise_dpa()
+        for i in range(len(vectors)):
+            for j in range(len(vectors)):
+                fid_i, vec_i = vectors[i]
+                fid_j, vec_j = vectors[j]
+                if len(set(vec_i.dpa_items())) != len(vec_i.dpa_items()):
+                    continue  # duplicate items: set vs bag semantics differ
+                if len(set(vec_j.dpa_items())) != len(vec_j.dpa_items()):
+                    continue
+                assert bulk[i, j] == pytest.approx(
+                    dpa_similarity(vec_i, vec_j)
+                ), (fid_i, fid_j)
+
+
+class TestGraphVsTraceStats:
+    def test_graph_frequency_reflects_successor_counts(self, ins_trace):
+        """Window-1 graph frequencies must match raw successor counts."""
+        from repro.graph.correlation_graph import CorrelationGraph
+        from repro.traces.stats import successor_counts
+
+        graph = CorrelationGraph(window=1)
+        for r in ins_trace:
+            graph.observe(r.fid)
+        counts = successor_counts(ins_trace, window=1)
+        checked = 0
+        for src, counter in counts.items():
+            n_src = graph.access_count(src)
+            for dst, n in counter.items():
+                expected = min(1.0, n / n_src)
+                assert graph.frequency(src, dst) == pytest.approx(expected)
+                checked += 1
+                if checked > 300:
+                    return
+        assert checked > 0
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolvable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_main_module_importable(self):
+        import repro.__main__  # noqa: F401

@@ -1,0 +1,78 @@
+"""End-to-end flows exercising the full public API surface."""
+
+import pytest
+
+from repro import (
+    Farmer,
+    FarmerConfig,
+    FarmerPrefetcher,
+    NoPrefetcher,
+    PredictorPrefetcher,
+    SimulationConfig,
+    TRACE_NAMES,
+    generate_trace,
+    run_simulation,
+)
+from repro.baselines import Nexus
+from repro.traces import read_csv, write_csv
+
+
+class TestMineAndQuery:
+    @pytest.mark.parametrize("name", TRACE_NAMES)
+    def test_mine_every_trace(self, name):
+        trace = generate_trace(name, 800, seed=3)
+        farmer = Farmer()
+        farmer.mine(trace)
+        stats = farmer.stats()
+        assert stats.n_observed == 800
+        assert stats.n_lists > 0
+
+    def test_predictions_are_real_files(self, hp_trace):
+        farmer = Farmer()
+        farmer.mine(hp_trace)
+        known = {r.fid for r in hp_trace}
+        for r in hp_trace[:100]:
+            for fid in farmer.predict(r.fid):
+                assert fid in known
+
+
+class TestTraceFileWorkflow:
+    def test_mine_from_csv(self, tmp_path, hp_trace):
+        """A real deployment mines from trace files, not memory."""
+        path = tmp_path / "trace.csv"
+        write_csv(hp_trace[:500], path)
+        farmer = Farmer()
+        for record in read_csv(path):
+            farmer.observe(record)
+        assert farmer.stats().n_observed == 500
+
+
+class TestFullComparison:
+    def test_three_policies_one_trace(self, hp_trace):
+        cfg = SimulationConfig(cache_capacity=72)
+        fpa = run_simulation(hp_trace, FarmerPrefetcher(Farmer()), cfg)
+        nexus = run_simulation(hp_trace, PredictorPrefetcher(Nexus(), k=5), cfg)
+        lru = run_simulation(hp_trace, NoPrefetcher(), cfg)
+        assert fpa.demand_requests == nexus.demand_requests == lru.demand_requests
+        # the paper's headline ordering
+        assert fpa.hit_ratio > lru.hit_ratio
+        assert fpa.prefetch_accuracy > nexus.prefetch_accuracy
+
+    def test_simulation_reports_complete(self, ins_trace):
+        report = run_simulation(
+            ins_trace, FarmerPrefetcher(Farmer()), SimulationConfig(cache_capacity=48)
+        )
+        assert report.makespan_ns > 0
+        assert report.miner_memory_bytes > 0
+        assert report.p50_response_ns <= report.p95_response_ns
+        assert 0 <= report.hit_ratio <= 1
+
+    def test_reproducibility_across_runs(self, res_trace):
+        def once():
+            return run_simulation(
+                res_trace,
+                FarmerPrefetcher(Farmer(FarmerConfig())),
+                SimulationConfig(cache_capacity=72),
+            )
+
+        assert once() == once()

@@ -1,0 +1,38 @@
+"""Smoke tests: the example scripts run end-to-end at reduced scale."""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(monkeypatch, capsys, name: str, argv: list[str]):
+    monkeypatch.setattr(sys, "argv", [name, *argv])
+    runpy.run_module(f"examples.{name}" if False else name, run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.fixture
+def run_script(monkeypatch, capsys):
+    def _run(name: str, argv: list[str] = ()):  # noqa: B006
+        monkeypatch.setattr(sys, "argv", [f"examples/{name}.py", *argv])
+        runpy.run_path(f"examples/{name}.py", run_name="__main__")
+        return capsys.readouterr().out
+
+    return _run
+
+
+class TestExamples:
+    def test_prefetch_comparison(self, run_script):
+        out = run_script("prefetch_comparison", ["--events", "600"])
+        assert "FPA" in out and "Nexus" in out and "LRU" in out
+
+    def test_attribute_study(self, run_script):
+        out = run_script("attribute_study", ["--trace", "ins", "--events", "600"])
+        assert "successor predictability" in out
+        assert "attribute combination" in out
+
+    def test_threshold_tuning(self, run_script):
+        out = run_script("threshold_tuning", ["--trace", "hp", "--events", "500"])
+        assert "max_strength" in out
+        assert "p=0.7" in out

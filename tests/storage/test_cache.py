@@ -1,0 +1,113 @@
+"""Tests for the LRU metadata cache."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.storage.cache import LRUCache
+
+
+class TestBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigError):
+            LRUCache(0)
+
+    def test_hit_miss_counting(self):
+        cache = LRUCache(2)
+        assert cache.lookup(1) is None
+        cache.insert(1, "a")
+        assert cache.lookup(1).value == "a"
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_ratio() == 0.5
+
+    def test_hit_ratio_nan_initially(self):
+        hr = LRUCache(2).hit_ratio()
+        assert hr != hr
+
+    def test_peek_does_not_count_or_promote(self):
+        cache = LRUCache(2)
+        cache.insert(1, "a")
+        cache.insert(2, "b")
+        cache.peek(1)  # no promotion
+        cache.insert(3, "c")  # evicts LRU = 1
+        assert 1 not in cache
+        assert cache.hits == 0 and cache.misses == 0
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = LRUCache(2)
+        cache.insert(1, "a")
+        cache.insert(2, "b")
+        cache.lookup(1)  # promote 1
+        cache.insert(3, "c")  # evicts 2
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_eviction_callback(self):
+        evicted = []
+        cache = LRUCache(1, on_evict=lambda k, e: evicted.append(k))
+        cache.insert(1, "a")
+        cache.insert(2, "b")
+        assert evicted == [1]
+
+    def test_invalidate_skips_callback(self):
+        evicted = []
+        cache = LRUCache(2, on_evict=lambda k, e: evicted.append(k))
+        cache.insert(1, "a")
+        assert cache.invalidate(1)
+        assert not cache.invalidate(1)
+        assert evicted == []
+
+    def test_len_bounded(self):
+        cache = LRUCache(3)
+        for i in range(10):
+            cache.insert(i, i)
+        assert len(cache) == 3
+
+    def test_keys_lru_to_mru(self):
+        cache = LRUCache(3)
+        for i in (1, 2, 3):
+            cache.insert(i, i)
+        cache.lookup(1)
+        assert cache.keys() == [2, 3, 1]
+
+
+class TestPrefetchBookkeeping:
+    def test_prefetched_marked_unused(self):
+        cache = LRUCache(2)
+        cache.insert(1, "a", prefetched=True)
+        entry = cache.peek(1)
+        assert entry.prefetched and not entry.used_since_prefetch
+
+    def test_demand_hit_marks_used(self):
+        cache = LRUCache(2)
+        cache.insert(1, "a", prefetched=True)
+        cache.lookup(1)
+        assert cache.peek(1).used_since_prefetch
+
+    def test_demand_insert_counts_as_used(self):
+        cache = LRUCache(2)
+        cache.insert(1, "a")
+        entry = cache.peek(1)
+        assert not entry.prefetched and entry.used_since_prefetch
+
+    def test_prefetch_refresh_keeps_demand_provenance(self):
+        """Prefetching an already-cached demand entry must not mark it
+        speculative."""
+        cache = LRUCache(2)
+        cache.insert(1, "a")
+        cache.insert(1, "a", prefetched=True)
+        assert not cache.peek(1).prefetched
+
+    def test_demand_refresh_clears_prefetch_provenance(self):
+        cache = LRUCache(2)
+        cache.insert(1, "a", prefetched=True)
+        cache.insert(1, "b", prefetched=False)
+        entry = cache.peek(1)
+        assert not entry.prefetched and entry.used_since_prefetch
+
+    def test_reset_counters(self):
+        cache = LRUCache(2)
+        cache.insert(1, "a")
+        cache.lookup(1)
+        cache.reset_counters()
+        assert cache.hits == 0 and cache.misses == 0

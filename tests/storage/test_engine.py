@@ -1,0 +1,74 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.storage.engine import EventLoop
+
+
+class TestEventLoop:
+    def test_time_ordering(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(30, lambda: fired.append("c"))
+        loop.schedule_at(10, lambda: fired.append("a"))
+        loop.schedule_at(20, lambda: fired.append("b"))
+        loop.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_within_same_instant(self):
+        loop = EventLoop()
+        fired = []
+        for tag in ("x", "y", "z"):
+            loop.schedule_at(5, lambda t=tag: fired.append(t))
+        loop.run()
+        assert fired == ["x", "y", "z"]
+
+    def test_clock_advances(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(7, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [7]
+        assert loop.now == 7
+
+    def test_schedule_after(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(10, lambda: loop.schedule_after(5, lambda: seen.append(loop.now)))
+        loop.run()
+        assert seen == [15]
+
+    def test_past_scheduling_rejected(self):
+        loop = EventLoop()
+        loop.schedule_at(10, lambda: None)
+        loop.run()
+        with pytest.raises(SimulationError):
+            loop.schedule_at(5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventLoop().schedule_after(-1, lambda: None)
+
+    def test_cascading_events(self):
+        """Events scheduling events run to completion."""
+        loop = EventLoop()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 100:
+                loop.schedule_after(1, tick)
+
+        loop.schedule_at(0, tick)
+        loop.run()
+        assert count[0] == 100
+        assert loop.processed == 100
+
+    def test_max_events(self):
+        loop = EventLoop()
+        for i in range(10):
+            loop.schedule_at(i, lambda: None)
+        assert loop.run(max_events=4) == 4
+        assert loop.pending() == 6
+        assert loop.run() == 6

@@ -1,0 +1,150 @@
+"""Tests for the B-tree key/value store (Berkeley DB substitute)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KVStoreError
+from repro.storage.kvstore import BTreeKVStore
+
+
+class TestPointOps:
+    def test_put_get(self):
+        store = BTreeKVStore()
+        store.put(5, "five")
+        assert store.get(5) == "five"
+        assert store.get(6) is None
+        assert store.get(6, "dflt") == "dflt"
+
+    def test_overwrite(self):
+        store = BTreeKVStore()
+        store.put(1, "a")
+        store.put(1, "b")
+        assert store.get(1) == "b"
+        assert len(store) == 1
+
+    def test_contains(self):
+        store = BTreeKVStore()
+        store.put(1, "a")
+        assert 1 in store and 2 not in store
+
+    def test_contains_value_none(self):
+        store = BTreeKVStore()
+        store.put(1, None)
+        assert 1 in store
+
+    def test_delete(self):
+        store = BTreeKVStore()
+        store.put(1, "a")
+        assert store.delete(1)
+        assert not store.delete(1)
+        assert not store.delete(99)
+        assert store.get(1) is None
+        assert len(store) == 0
+
+    def test_resurrect_after_delete(self):
+        store = BTreeKVStore()
+        store.put(1, "a")
+        store.delete(1)
+        store.put(1, "b")
+        assert store.get(1) == "b"
+        assert len(store) == 1
+        assert store.keys().count(1) == 1  # no duplicate key
+
+    def test_op_counters(self):
+        store = BTreeKVStore()
+        store.put(1, "a")
+        store.get(1)
+        store.get(2)
+        assert store.puts == 1 and store.gets == 2
+
+    def test_batch_get(self):
+        store = BTreeKVStore()
+        store.put(1, "a")
+        assert store.batch_get([1, 2]) == ["a", None]
+
+    def test_min_degree_validation(self):
+        with pytest.raises(KVStoreError):
+            BTreeKVStore(min_degree=1)
+
+
+class TestStructure:
+    def test_many_inserts_split_nodes(self):
+        store = BTreeKVStore(min_degree=2)
+        for i in range(500):
+            store.put(i, i * 2)
+        assert store.height() > 2
+        assert store.node_count() > 10
+        store.check_invariants()
+        for i in range(500):
+            assert store.get(i) == i * 2
+
+    def test_reverse_insert_order(self):
+        store = BTreeKVStore(min_degree=2)
+        for i in reversed(range(200)):
+            store.put(i, i)
+        store.check_invariants()
+        assert store.keys() == list(range(200))
+
+    def test_range_scan(self):
+        store = BTreeKVStore(min_degree=3)
+        for i in range(0, 100, 2):
+            store.put(i, i)
+        assert [k for k, _ in store.range(10, 20)] == [10, 12, 14, 16, 18, 20]
+        assert [k for k, _ in store.range(lo=95)] == [96, 98]
+        assert [k for k, _ in store.range(hi=3)] == [0, 2]
+
+    def test_range_skips_tombstones(self):
+        store = BTreeKVStore()
+        for i in range(10):
+            store.put(i, i)
+        store.delete(5)
+        assert 5 not in [k for k, _ in store.range()]
+
+    def test_scan_counter(self):
+        store = BTreeKVStore()
+        list(store.range())
+        assert store.scans == 1
+
+
+class TestPersistence:
+    def test_dump_load_roundtrip(self, tmp_path):
+        store = BTreeKVStore()
+        for i in range(50):
+            store.put(i, {"v": i})
+        store.delete(7)
+        path = tmp_path / "kv.jsonl"
+        assert store.dump(path) == 49
+        loaded = BTreeKVStore.load(path)
+        assert len(loaded) == 49
+        assert loaded.get(3) == {"v": 3}
+        assert loaded.get(7) is None
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["put", "delete", "get"]),
+                st.integers(min_value=0, max_value=50),
+            ),
+            max_size=300,
+        )
+    )
+    def test_matches_dict_model(self, ops):
+        """The store behaves exactly like a dict under any op sequence."""
+        store = BTreeKVStore(min_degree=2)
+        model: dict[int, int] = {}
+        for op, key in ops:
+            if op == "put":
+                store.put(key, key * 3)
+                model[key] = key * 3
+            elif op == "delete":
+                assert store.delete(key) == (key in model)
+                model.pop(key, None)
+            else:
+                assert store.get(key) == model.get(key)
+        assert len(store) == len(model)
+        assert store.keys() == sorted(model)
+        store.check_invariants()

@@ -1,0 +1,82 @@
+"""Tests for the latency model and metrics collection."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.storage.latency import LatencyModel
+from repro.storage.metrics import MetricsCollector
+from repro.utils.rng import derive_rng
+
+
+class TestLatencyModel:
+    def test_hit_cheaper_than_miss(self):
+        lat = LatencyModel()
+        assert lat.demand_service_ns(hit=True) < lat.demand_service_ns(hit=False)
+
+    def test_miss_includes_kv(self):
+        lat = LatencyModel(cache_hit_ns=10, kv_lookup_ns=100)
+        assert lat.demand_service_ns(hit=False) == 110
+        assert lat.demand_service_ns(hit=True) == 10
+
+    def test_prefetch_service(self):
+        lat = LatencyModel(prefetch_item_ns=77)
+        assert lat.prefetch_service_ns() == 77
+
+    def test_no_jitter_without_rng(self):
+        lat = LatencyModel(jitter_sigma=0.5)
+        assert lat.demand_service_ns(True) == lat.cache_hit_ns
+
+    def test_jitter_varies(self):
+        lat = LatencyModel(jitter_sigma=0.5)
+        rng = derive_rng(0, "jitter")
+        samples = {lat.demand_service_ns(True, rng) for _ in range(20)}
+        assert len(samples) > 1
+        assert all(s >= 1 for s in samples)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LatencyModel(cache_hit_ns=0)
+        with pytest.raises(ConfigError):
+            LatencyModel(network_ns=-1)
+        with pytest.raises(ConfigError):
+            LatencyModel(jitter_sigma=-0.1)
+
+
+class TestMetricsCollector:
+    def test_demand_recording(self):
+        m = MetricsCollector()
+        m.record_demand(response_ns=100, wait_ns=10, hit=True)
+        m.record_demand(response_ns=300, wait_ns=30, hit=False)
+        report = m.report()
+        assert report.demand_requests == 2
+        assert report.demand_hits == 1
+        assert report.hit_ratio == 0.5
+        assert report.mean_response_ns == pytest.approx(200)
+        assert report.mean_wait_ns == pytest.approx(20)
+        assert report.max_response_ns == 300
+
+    def test_empty_report_nan(self):
+        report = MetricsCollector().report()
+        assert report.hit_ratio != report.hit_ratio
+        assert report.prefetch_accuracy != report.prefetch_accuracy
+        assert report.utilization != report.utilization
+
+    def test_prefetch_accuracy(self):
+        m = MetricsCollector()
+        m.prefetch_completed = 10
+        m.prefetch_used = 6
+        assert m.report().prefetch_accuracy == pytest.approx(0.6)
+
+    def test_utilization(self):
+        m = MetricsCollector()
+        m.record_busy(500)
+        m.makespan_ns = 1000
+        assert m.report().utilization == pytest.approx(0.5)
+
+    def test_mean_response_ms(self):
+        m = MetricsCollector()
+        m.record_demand(response_ns=2_000_000, wait_ns=0, hit=True)
+        assert m.report().mean_response_ms == pytest.approx(2.0)
+
+    def test_miner_memory_passthrough(self):
+        assert MetricsCollector().report(miner_memory_bytes=42).miner_memory_bytes == 42

@@ -1,0 +1,124 @@
+"""Tests for the metadata server and cluster simulation."""
+
+import pytest
+
+from repro.core.farmer import Farmer
+from repro.core.config import FarmerConfig
+from repro.storage.cluster import HustCluster, SimulationConfig, run_simulation
+from repro.storage.latency import LatencyModel
+from repro.storage.prefetch import FarmerPrefetcher, NoPrefetcher, PredictorPrefetcher
+from repro.baselines.nexus import Nexus
+from repro.errors import ConfigError
+from tests.conftest import sequence_records
+
+
+def replay(fids, prefetcher=None, **config_kwargs):
+    records = [r.with_ts(i * 1_000_000) for i, r in enumerate(sequence_records(fids))]
+    cfg = SimulationConfig(**config_kwargs) if config_kwargs else SimulationConfig()
+    return run_simulation(records, prefetcher or NoPrefetcher(), cfg)
+
+
+class TestDemandPath:
+    def test_all_counted(self):
+        report = replay([1, 2, 3, 1, 2, 3])
+        assert report.demand_requests == 6
+
+    def test_first_access_misses_then_hits(self):
+        report = replay([1, 1, 1])
+        assert report.demand_hits == 2
+        assert report.hit_ratio == pytest.approx(2 / 3)
+
+    def test_eviction_causes_miss(self):
+        report = replay([1, 2, 3, 1], cache_capacity=2)
+        assert report.demand_hits == 0  # 1 evicted before its re-access
+
+    def test_response_includes_service(self):
+        lat = LatencyModel(cache_hit_ns=10_000, kv_lookup_ns=90_000)
+        report = replay([1], latency=lat)
+        assert report.mean_response_ns >= 100_000
+
+    def test_network_latency_added(self):
+        lat_no = LatencyModel(network_ns=0)
+        lat_net = LatencyModel(network_ns=50_000)
+        r0 = replay([1, 2, 3], latency=lat_no)
+        r1 = replay([1, 2, 3], latency=lat_net)
+        assert r1.mean_response_ns == pytest.approx(r0.mean_response_ns + 50_000)
+
+
+class TestPrefetchPath:
+    def _farmer_prefetcher(self):
+        return FarmerPrefetcher(Farmer(FarmerConfig(max_strength=0.0)))
+
+    def test_prefetch_improves_hits(self):
+        """A strictly alternating pattern with eviction pressure: the
+        predictor prefetches the next file before its demand arrives."""
+        pattern = [1, 2, 3, 4] * 30
+        no_pf = replay(pattern, NoPrefetcher(), cache_capacity=2)
+        with_pf = replay(pattern, self._farmer_prefetcher(), cache_capacity=2)
+        assert with_pf.hit_ratio > no_pf.hit_ratio
+
+    def test_prefetch_counters_consistent(self):
+        report = replay([1, 2, 3] * 20, self._farmer_prefetcher(), cache_capacity=2)
+        assert report.prefetch_issued >= report.prefetch_completed
+        assert report.prefetch_used <= report.prefetch_completed
+        assert report.prefetch_accuracy <= 1.0
+
+    def test_nexus_prefetcher_works(self):
+        report = replay([1, 2, 3] * 20, PredictorPrefetcher(Nexus()), cache_capacity=2)
+        assert report.prefetch_issued > 0
+
+    def test_noop_never_prefetches(self):
+        report = replay([1, 2] * 10, NoPrefetcher())
+        assert report.prefetch_issued == 0
+        assert report.prefetch_completed == 0
+
+    def test_miner_overhead_charged(self):
+        fast = replay([1, 2] * 20, NoPrefetcher())
+        slow = replay(
+            [1, 2] * 20,
+            PredictorPrefetcher(Nexus(), k=0, overhead_ns=200_000),
+        )
+        assert slow.mean_response_ns > fast.mean_response_ns
+
+
+class TestCluster:
+    def test_multi_mds_partitioning(self):
+        records = [r.with_ts(i * 1_000_000) for i, r in enumerate(sequence_records([1, 2, 3, 4] * 10))]
+        cluster = HustCluster(SimulationConfig(n_mds=2), NoPrefetcher())
+        report = cluster.run(records)
+        assert report.demand_requests == 40
+        # both shards hold some keys
+        assert len(cluster.servers[0].kvstore) > 0
+        assert len(cluster.servers[1].kvstore) > 0
+
+    def test_route_stable(self):
+        cluster = HustCluster(SimulationConfig(n_mds=3), NoPrefetcher())
+        assert cluster.route(7) is cluster.route(7)
+
+    def test_preload_unique(self):
+        records = sequence_records([5, 5, 6])
+        cluster = HustCluster(SimulationConfig(), NoPrefetcher())
+        assert cluster.preload(records) == 2
+
+    def test_empty_trace(self):
+        report = run_simulation([], NoPrefetcher(), SimulationConfig())
+        assert report.demand_requests == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(cache_capacity=0)
+        with pytest.raises(ConfigError):
+            SimulationConfig(n_mds=0)
+        with pytest.raises(ConfigError):
+            SimulationConfig(time_scale=0)
+
+    def test_deterministic(self, hp_trace):
+        subset = hp_trace[:400]
+        a = run_simulation(subset, NoPrefetcher(), SimulationConfig())
+        b = run_simulation(subset, NoPrefetcher(), SimulationConfig())
+        assert a == b
+
+    def test_makespan_positive(self, hp_trace):
+        report = run_simulation(hp_trace[:100], NoPrefetcher(), SimulationConfig())
+        assert report.makespan_ns > 0
+        assert 0 < report.utilization < 1

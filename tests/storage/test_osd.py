@@ -1,0 +1,86 @@
+"""Tests for the object storage device cost model."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.storage.osd import ObjectStorageDevice
+
+
+class TestPlacement:
+    def test_sequential_allocation(self):
+        osd = ObjectStorageDevice()
+        a = osd.place(1, 100)
+        b = osd.place(2, 200)
+        assert a.offset == 0 and a.end == 100
+        assert b.offset == 100 and b.end == 300
+
+    def test_double_place_rejected(self):
+        osd = ObjectStorageDevice()
+        osd.place(1, 10)
+        with pytest.raises(SimulationError):
+            osd.place(1, 10)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ConfigError):
+            ObjectStorageDevice().place(1, 0)
+
+    def test_place_group_contiguous(self):
+        osd = ObjectStorageDevice()
+        extents = osd.place_group([1, 2, 3], [10, 10, 10])
+        assert [e.offset for e in extents] == [0, 10, 20]
+
+    def test_place_group_arity(self):
+        with pytest.raises(ConfigError):
+            ObjectStorageDevice().place_group([1], [10, 20])
+
+    def test_locate(self):
+        osd = ObjectStorageDevice()
+        osd.place(1, 10)
+        assert osd.locate(1).length == 10
+        assert osd.is_placed(1) and not osd.is_placed(2)
+        with pytest.raises(KeyError):
+            osd.locate(2)
+
+
+class TestReadCost:
+    def test_contiguous_single_seek(self):
+        osd = ObjectStorageDevice()
+        osd.place_group([1, 2, 3], [1024, 1024, 1024])
+        cost = osd.read_batch([1, 2, 3])
+        assert cost.n_seeks == 1
+        assert cost.bytes_read == 3072
+
+    def test_scattered_batch_seeks(self):
+        osd = ObjectStorageDevice()
+        for oid in range(6):
+            osd.place(oid, 1024)
+        cost = osd.read_batch([0, 2, 4])  # gaps between all three
+        assert cost.n_seeks == 3
+
+    def test_order_irrelevant(self):
+        osd = ObjectStorageDevice()
+        osd.place_group([1, 2, 3], [1024, 1024, 1024])
+        assert osd.read_batch([3, 1, 2]).n_seeks == 1
+
+    def test_latency_model(self):
+        osd = ObjectStorageDevice(seek_ns=1000, transfer_ns_per_kb=10)
+        osd.place(1, 2048)
+        cost = osd.read_batch([1])
+        assert cost.latency_ns == 1000 + 2 * 10
+
+    def test_empty_batch(self):
+        cost = ObjectStorageDevice().read_batch([])
+        assert cost.n_seeks == 0 and cost.latency_ns == 0
+
+    def test_counters(self):
+        osd = ObjectStorageDevice()
+        osd.place(1, 10)
+        osd.read_batch([1])
+        osd.read_batch([1])
+        assert osd.reads == 2
+        assert osd.total_seeks == 2
+        assert len(osd) == 1
+
+    def test_cost_validation(self):
+        with pytest.raises(ConfigError):
+            ObjectStorageDevice(seek_ns=-1)

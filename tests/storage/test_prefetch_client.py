@@ -1,0 +1,116 @@
+"""Tests for the prefetch engines and the trace-replay client."""
+
+import pytest
+
+from repro.baselines.nexus import Nexus
+from repro.core.config import FarmerConfig
+from repro.core.farmer import Farmer
+from repro.storage.client import TraceReplayClient
+from repro.storage.engine import EventLoop
+from repro.storage.kvstore import BTreeKVStore
+from repro.storage.latency import LatencyModel
+from repro.storage.mds import MetadataServer
+from repro.storage.metrics import MetricsCollector
+from repro.storage.prefetch import (
+    FarmerPrefetcher,
+    NoPrefetcher,
+    PredictorPrefetcher,
+    PrefetchEngine,
+)
+from tests.conftest import make_record, sequence_records
+
+
+class TestPrefetchEngines:
+    def test_protocol_conformance(self):
+        for engine in (
+            NoPrefetcher(),
+            FarmerPrefetcher(Farmer()),
+            PredictorPrefetcher(Nexus()),
+        ):
+            assert isinstance(engine, PrefetchEngine)
+            assert engine.overhead_ns >= 0
+            assert engine.memory_bytes() >= 0
+
+    def test_farmer_candidates_thresholded(self):
+        farmer = Farmer(FarmerConfig(max_strength=1.0))  # nothing is valid
+        engine = FarmerPrefetcher(farmer)
+        for r in sequence_records([1, 2] * 10):
+            engine.observe(r)
+        assert engine.candidates(make_record(1)) == []
+
+    def test_predictor_adapter_k(self):
+        engine = PredictorPrefetcher(Nexus(), k=2)
+        for r in sequence_records([1, 2, 3, 4, 5] * 6):
+            engine.observe(r)
+        assert len(engine.candidates(make_record(1))) <= 2
+
+    def test_predictor_adapter_validation(self):
+        with pytest.raises(ValueError):
+            PredictorPrefetcher(Nexus(), k=-1)
+
+    def test_farmer_memory_reported(self):
+        engine = FarmerPrefetcher(Farmer())
+        for r in sequence_records([1, 2, 3] * 5):
+            engine.observe(r)
+        assert engine.memory_bytes() > 0
+
+    def test_nexus_memory_reported(self):
+        engine = PredictorPrefetcher(Nexus())
+        for r in sequence_records([1, 2, 3] * 5):
+            engine.observe(r)
+        assert engine.memory_bytes() > 0
+
+
+def build_server(engine: EventLoop):
+    store = BTreeKVStore()
+    for fid in range(20):
+        store.put(fid, {"fid": fid})
+    return MetadataServer(
+        engine=engine,
+        kvstore=store,
+        prefetcher=NoPrefetcher(),
+        metrics=MetricsCollector(),
+        latency=LatencyModel(),
+        cache_capacity=8,
+    )
+
+
+class TestTraceReplayClient:
+    def test_replays_all(self):
+        loop = EventLoop()
+        mds = build_server(loop)
+        records = [make_record(i % 5, ts=i * 100_000) for i in range(30)]
+        client = TraceReplayClient(loop, records, lambda fid: mds)
+        client.start()
+        loop.run()
+        assert client.submitted == 30
+        assert mds.metrics.demand_requests == 30
+
+    def test_time_scale(self):
+        loop = EventLoop()
+        mds = build_server(loop)
+        records = [make_record(1, ts=1_000_000)]
+        client = TraceReplayClient(loop, records, lambda fid: mds, time_scale=2.0)
+        client.start()
+        loop.run()
+        # arrival at 2ms, not 1ms
+        assert loop.now >= 2_000_000
+
+    def test_empty_trace_noop(self):
+        loop = EventLoop()
+        client = TraceReplayClient(loop, [], lambda fid: None)
+        client.start()
+        assert loop.run() == 0
+
+    def test_time_scale_validation(self):
+        with pytest.raises(ValueError):
+            TraceReplayClient(EventLoop(), [], lambda fid: None, time_scale=0)
+
+    def test_lazy_scheduling(self):
+        """Only one arrival is pending at any time (O(1) memory)."""
+        loop = EventLoop()
+        mds = build_server(loop)
+        records = [make_record(i % 3, ts=i * 1_000_000) for i in range(10)]
+        client = TraceReplayClient(loop, records, lambda fid: mds)
+        client.start()
+        assert loop.pending() == 1

@@ -1,0 +1,75 @@
+"""Tests for the dual priority request queues (§4.1)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.storage.queues import DualRequestQueue
+from repro.storage.requests import MetadataRequest, RequestKind
+
+
+def demand(fid: int) -> MetadataRequest:
+    return MetadataRequest(fid=fid, kind=RequestKind.DEMAND, arrival_ns=0)
+
+
+def prefetch(fid: int) -> MetadataRequest:
+    return MetadataRequest(fid=fid, kind=RequestKind.PREFETCH, arrival_ns=0)
+
+
+class TestPriority:
+    def test_demand_pops_first(self):
+        q = DualRequestQueue()
+        q.push(prefetch(10))
+        q.push(demand(1))
+        q.push(prefetch(11))
+        q.push(demand(2))
+        assert [q.pop().fid for _ in range(4)] == [1, 2, 10, 11]
+
+    def test_fifo_within_class(self):
+        q = DualRequestQueue()
+        for fid in (1, 2, 3):
+            q.push(demand(fid))
+        assert [q.pop().fid for _ in range(3)] == [1, 2, 3]
+
+    def test_empty_pop_none(self):
+        assert DualRequestQueue().pop() is None
+
+
+class TestPrefetchBounds:
+    def test_overflow_drops_newest(self):
+        q = DualRequestQueue(prefetch_limit=2)
+        assert q.push(prefetch(1))
+        assert q.push(prefetch(2))
+        assert not q.push(prefetch(3))
+        assert q.prefetch_dropped == 1
+        assert q.prefetch_depth == 2
+
+    def test_demand_unbounded(self):
+        q = DualRequestQueue(prefetch_limit=0)
+        for fid in range(100):
+            assert q.push(demand(fid))
+        assert q.demand_depth == 100
+
+    def test_zero_limit_drops_all_prefetch(self):
+        q = DualRequestQueue(prefetch_limit=0)
+        assert not q.push(prefetch(1))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DualRequestQueue(prefetch_limit=-1)
+
+
+class TestDedup:
+    def test_queued_prefetch_tracked(self):
+        q = DualRequestQueue()
+        q.push(prefetch(5))
+        assert q.has_queued_prefetch(5)
+        q.pop()
+        assert not q.has_queued_prefetch(5)
+
+    def test_counters(self):
+        q = DualRequestQueue()
+        q.push(demand(1))
+        q.push(prefetch(2))
+        assert q.demand_enqueued == 1
+        assert q.prefetch_enqueued == 1
+        assert len(q) == 2

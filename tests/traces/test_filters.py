@@ -1,0 +1,54 @@
+"""Tests for attribute-based stream partitioning."""
+
+from repro.traces.filters import iter_substreams, partition_key, split_by_attributes
+from tests.conftest import make_record
+
+
+class TestPartitionKey:
+    def test_empty_attrs_constant(self):
+        assert partition_key(make_record(1), ()) == ()
+
+    def test_scalar_attrs(self):
+        r = make_record(1, uid=7, pid=8)
+        assert partition_key(r, ("user", "process")) == (7, 8)
+
+    def test_path_maps_to_directory(self):
+        r = make_record(1, path="/home/u/proj/f.c")
+        assert partition_key(r, ("path",)) == ("/home/u/proj",)
+
+    def test_top_level_path(self):
+        assert partition_key(make_record(1, path="/vmunix"), ("path",)) == ("/",)
+
+    def test_missing_path_is_none(self):
+        assert partition_key(make_record(1, path=None), ("path",)) == (None,)
+
+
+class TestSplitByAttributes:
+    def test_order_preserved_within_stream(self):
+        records = [
+            make_record(1, ts=0, uid=1),
+            make_record(2, ts=1, uid=2),
+            make_record(3, ts=2, uid=1),
+        ]
+        streams = split_by_attributes(records, ("user",))
+        assert [r.fid for r in streams[(1,)]] == [1, 3]
+        assert [r.fid for r in streams[(2,)]] == [2]
+
+    def test_total_partition(self):
+        records = [make_record(i, uid=i % 3) for i in range(30)]
+        streams = split_by_attributes(records, ("user",))
+        assert sum(len(s) for s in streams.values()) == 30
+
+    def test_none_filter_single_stream(self):
+        records = [make_record(i) for i in range(5)]
+        streams = split_by_attributes(records, ())
+        assert list(streams) == [()]
+        assert len(streams[()]) == 5
+
+
+class TestIterSubstreams:
+    def test_min_length(self):
+        records = [make_record(1, uid=1), make_record(2, uid=2), make_record(3, uid=2)]
+        streams = list(iter_substreams(records, ("user",), min_length=2))
+        assert len(streams) == 1
+        assert [r.fid for r in streams[0]] == [2, 3]

@@ -1,0 +1,64 @@
+"""Tests for the trace record schema."""
+
+import pytest
+
+from repro.traces.record import (
+    ATTRIBUTE_NAMES,
+    TraceRecord,
+    attribute_tuple,
+    attribute_value,
+    records_equal_ignoring_time,
+)
+from tests.conftest import make_record
+
+
+class TestTraceRecord:
+    def test_defaults(self):
+        r = TraceRecord(ts=1, fid=2, uid=3, pid=4, host=5)
+        assert r.path is None and r.op == "open" and r.size == 0 and r.dev == 0
+
+    def test_frozen(self):
+        r = make_record(1)
+        with pytest.raises(AttributeError):
+            r.fid = 2
+
+    def test_with_ts(self):
+        r = make_record(1, ts=10)
+        r2 = r.with_ts(99)
+        assert r2.ts == 99 and r2.fid == r.fid
+        assert r.ts == 10  # original untouched
+
+    def test_hashable(self):
+        assert len({make_record(1), make_record(1), make_record(2)}) == 2
+
+
+class TestAttributes:
+    def test_names_cover_paper_attributes(self):
+        for name in ("user", "process", "host", "path", "file", "dev"):
+            assert name in ATTRIBUTE_NAMES
+
+    def test_attribute_value(self):
+        r = make_record(9, uid=3, pid=4, host=5, path="/a/b", dev=6)
+        assert attribute_value(r, "user") == 3
+        assert attribute_value(r, "process") == 4
+        assert attribute_value(r, "host") == 5
+        assert attribute_value(r, "path") == "/a/b"
+        assert attribute_value(r, "file") == 9
+        assert attribute_value(r, "dev") == 6
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(KeyError):
+            attribute_value(make_record(1), "nonsense")
+
+    def test_attribute_tuple(self):
+        r = make_record(9, uid=3, pid=4)
+        assert attribute_tuple(r, ("user", "process")) == (3, 4)
+        assert attribute_tuple(r, ()) == ()
+
+
+class TestEquality:
+    def test_ignoring_time(self):
+        a = make_record(1, ts=5)
+        b = make_record(1, ts=99)
+        assert records_equal_ignoring_time(a, b)
+        assert not records_equal_ignoring_time(a, make_record(2, ts=5))

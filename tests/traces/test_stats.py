@@ -1,0 +1,105 @@
+"""Tests for trace statistics (successor probability, Figure 1 logic)."""
+
+import math
+
+import pytest
+
+from repro.traces.stats import (
+    filtered_predictability,
+    successor_counts,
+    successor_predictability,
+    summarize_trace,
+)
+from tests.conftest import make_record, sequence_records
+
+
+class TestSuccessorCounts:
+    def test_window_one(self):
+        counts = successor_counts(sequence_records([1, 2, 1, 2, 3]))
+        assert counts[1][2] == 2
+        assert counts[2][1] == 1
+        assert counts[2][3] == 1
+
+    def test_window_ignores_self(self):
+        counts = successor_counts(sequence_records([1, 1, 2]))
+        assert 1 not in counts.get(1, {})
+
+    def test_larger_window(self):
+        counts = successor_counts(sequence_records([1, 2, 3]), window=2)
+        assert counts[1][2] == 1 and counts[1][3] == 1
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            successor_counts([], window=0)
+
+
+class TestSuccessorPredictability:
+    def test_deterministic_stream(self):
+        records = sequence_records([1, 2, 3] * 20)
+        assert successor_predictability(records) == pytest.approx(1.0)
+
+    def test_alternating_successors(self):
+        # 1 is followed by 2 half the time and 3 half the time
+        records = sequence_records([1, 2, 1, 3] * 25)
+        # successors: 1->2 (25), 1->3 (25), 2->1 (25), 3->1 (24)
+        p = successor_predictability(records)
+        assert 0.6 < p < 0.8
+
+    def test_empty_is_nan(self):
+        assert math.isnan(successor_predictability([]))
+        assert math.isnan(successor_predictability(sequence_records([5])))
+
+
+class TestFilteredPredictability:
+    def test_interleaving_recovered_by_pid(self):
+        """Two deterministic per-process streams, interleaved with
+        different period lengths so the merged stream is unpredictable."""
+        a = [1, 2, 3] * 8  # period 3
+        b = ([7, 8, 9, 10] * 6)[: len(a)]  # period 4
+        records = []
+        for i, (x, y) in enumerate(zip(a, b)):
+            records.append(make_record(x, ts=2 * i, pid=100))
+            records.append(make_record(y, ts=2 * i + 1, pid=200))
+        unfiltered = successor_predictability(records)
+        filtered = filtered_predictability(records, ("process",))
+        assert filtered == pytest.approx(1.0)
+        assert filtered > unfiltered
+
+    def test_none_filter_equals_unfiltered(self):
+        records = sequence_records([1, 2, 3, 1, 2, 4] * 10)
+        assert filtered_predictability(records, ()) == pytest.approx(
+            successor_predictability(records)
+        )
+
+    def test_on_synthetic_trace(self, hp_trace):
+        """Figure 1's core claim on the HP workload."""
+        none_p = successor_predictability(hp_trace)
+        pid_p = filtered_predictability(hp_trace, ("process",))
+        uid_p = filtered_predictability(hp_trace, ("user",))
+        assert none_p < pid_p
+        assert none_p < uid_p
+
+
+class TestSummarize:
+    def test_basic_counts(self):
+        records = [
+            make_record(1, ts=0, uid=1, pid=5, host=2, path="/a/x"),
+            make_record(2, ts=1000, uid=2, pid=6, host=2, path="/a/y"),
+            make_record(1, ts=3000, uid=1, pid=5, host=3, path="/a/x"),
+        ]
+        s = summarize_trace(records)
+        assert s.n_events == 3
+        assert s.n_files == 2
+        assert s.n_users == 2
+        assert s.n_hosts == 2
+        assert s.n_directories == 1
+        assert s.has_paths
+        assert s.duration_ns == 3000
+        assert s.mean_interarrival_ns == pytest.approx(1500)
+
+    def test_rows_render(self):
+        s = summarize_trace(sequence_records([1, 2]))
+        assert any("events" in k for k, _ in s.rows())
+
+    def test_pathless(self, ins_trace):
+        assert not summarize_trace(ins_trace).has_paths

@@ -1,0 +1,179 @@
+"""Tests for the synthetic workload substrate (namespace, programs,
+engine, profiles)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.traces.record import TraceRecord
+from repro.traces.stats import summarize_trace
+from repro.traces.synthetic import (
+    TRACE_NAMES,
+    EngineParams,
+    Namespace,
+    build_program,
+    generate_run_sequence,
+    generate_trace,
+    make_workload,
+    zipf_weights,
+)
+from repro.utils.rng import derive_rng
+
+
+class TestNamespace:
+    def test_dense_fids(self):
+        ns = Namespace()
+        files = [ns.create("/d", f"f{i}") for i in range(5)]
+        assert [f.fid for f in files] == list(range(5))
+
+    def test_create_idempotent(self):
+        ns = Namespace()
+        a = ns.create("/d", "f")
+        b = ns.create("/d", "f")
+        assert a.fid == b.fid and len(ns) == 1
+
+    def test_lookup(self):
+        ns = Namespace()
+        f = ns.create("/home/u", "x", dev=3, size=10, read_only=True)
+        assert ns.by_fid(f.fid) is f
+        assert ns.by_path("/home/u/x") is f
+        assert "/home/u/x" in ns
+        assert f.read_only and f.dev == 3 and f.size == 10
+
+    def test_directories(self):
+        ns = Namespace()
+        ns.create("/a/b", "f1")
+        ns.create("/a/b", "f2")
+        ns.create("/c", "f3")
+        assert ns.directories() == {"/a/b", "/c"}
+
+    def test_create_many(self):
+        ns = Namespace()
+        files = ns.create_many("/d", ["a", "b", "c"])
+        assert [f.path for f in files] == ["/d/a", "/d/b", "/d/c"]
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        w = zipf_weights(10, 1.0)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_decreasing(self):
+        w = zipf_weights(10, 1.2)
+        assert all(w[i] >= w[i + 1] for i in range(9))
+
+    def test_s_zero_uniform(self):
+        w = zipf_weights(4, 0.0)
+        assert w == pytest.approx([0.25] * 4)
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigError):
+            zipf_weights(0, 1.0)
+
+
+class TestProgramRuns:
+    @pytest.fixture
+    def spec(self):
+        ns = Namespace()
+        libs = ns.create_many("/usr/lib", ["l1.so", "l2.so"], read_only=True)
+        return build_program(ns, 0, "prog", "/home/u/proj", 10, libs)
+
+    def test_canonical_prefix(self, spec):
+        rng = derive_rng(0, "run")
+        seq = generate_run_sequence(spec, rng, order_noise=0.0)
+        assert seq[0] is spec.executable
+        assert tuple(seq[1:3]) == spec.libraries
+
+    def test_no_noise_is_canonical(self, spec):
+        rng = derive_rng(0, "run")
+        seq = generate_run_sequence(spec, rng, order_noise=0.0, truncate=0.0)
+        assert [f.fid for f in seq] == [f.fid for f in spec.all_files()]
+
+    def test_subset_slices_group(self, spec):
+        rng = derive_rng(1, "run")
+        seq = generate_run_sequence(
+            spec, rng, order_noise=0.0, truncate=0.0, subset=0.5
+        )
+        group_part = seq[1 + len(spec.libraries):]
+        assert len(group_part) == 5  # half of 10
+
+    def test_subset_validation(self, spec):
+        with pytest.raises(ValueError):
+            generate_run_sequence(spec, derive_rng(0, "x"), subset=0.0)
+
+    def test_head_bias_prefers_head(self, spec):
+        rng = derive_rng(2, "run")
+        starts = []
+        for _ in range(200):
+            seq = generate_run_sequence(
+                spec, rng, order_noise=0.0, truncate=0.0, subset=0.3, head_bias=5.0
+            )
+            first_group_file = seq[1 + len(spec.libraries)]
+            starts.append(spec.group.index(first_group_file))
+        assert sum(starts) / len(starts) < 2.0  # strongly head-skewed
+
+    def test_revisit_only_rewinds(self, spec):
+        rng = derive_rng(3, "run")
+        seq = generate_run_sequence(spec, rng, order_noise=0.0, revisit_rate=0.5)
+        fids = [f.fid for f in seq]
+        assert len(fids) >= len(spec.all_files())
+        assert set(fids) <= {f.fid for f in spec.all_files()}
+
+
+class TestEngineParams:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EngineParams(concurrency=0)
+        with pytest.raises(ConfigError):
+            EngineParams(mean_interarrival_ns=0)
+        with pytest.raises(ConfigError):
+            EngineParams(random_access_rate=1.0)
+        with pytest.raises(ConfigError):
+            EngineParams(burst_mean=0.5)
+        with pytest.raises(ConfigError):
+            EngineParams(pid_space=2, concurrency=8)
+
+
+class TestProfiles:
+    def test_known_names(self):
+        assert set(TRACE_NAMES) == {"llnl", "ins", "res", "hp"}
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError):
+            make_workload("nfs")
+
+    def test_exact_event_count(self):
+        assert len(generate_trace("hp", 321, seed=0)) == 321
+
+    def test_deterministic(self):
+        a = generate_trace("res", 400, seed=5)
+        b = generate_trace("res", 400, seed=5)
+        assert a == b
+
+    def test_seed_changes_trace(self):
+        a = generate_trace("res", 400, seed=5)
+        b = generate_trace("res", 400, seed=6)
+        assert a != b
+
+    def test_timestamps_strictly_increasing(self, hp_trace):
+        assert all(a.ts < b.ts for a, b in zip(hp_trace, hp_trace[1:]))
+
+    @pytest.mark.parametrize("name", TRACE_NAMES)
+    def test_path_presence_matches_paper(self, name):
+        trace = generate_trace(name, 300, seed=1)
+        has_paths = any(r.path is not None for r in trace)
+        if name in ("hp", "llnl"):
+            assert has_paths
+        else:
+            assert not has_paths
+
+    def test_hp_population_shape(self, hp_trace):
+        s = summarize_trace(hp_trace)
+        assert s.n_users > 20  # many users
+        assert s.n_hosts <= 4  # few hosts (time-sharing)
+
+    def test_llnl_many_hosts(self, llnl_trace):
+        s = summarize_trace(llnl_trace)
+        assert s.n_hosts > 20  # cluster nodes
+
+    def test_records_are_trace_records(self, ins_trace):
+        assert all(isinstance(r, TraceRecord) for r in ins_trace[:10])

@@ -1,0 +1,79 @@
+"""Tests for the string interner."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.intern import Interner
+
+
+class TestInterner:
+    def test_first_seen_order(self):
+        interner = Interner()
+        assert interner.intern("a") == 0
+        assert interner.intern("b") == 1
+        assert interner.intern("a") == 0
+
+    def test_constructor_seeds(self):
+        interner = Interner(["x", "y", "x"])
+        assert len(interner) == 2
+        assert interner.id_of("y") == 1
+
+    def test_roundtrip(self):
+        interner = Interner()
+        tid = interner.intern(("user", 42))
+        assert interner.token_of(tid) == ("user", 42)
+
+    def test_id_of_missing_raises(self):
+        with pytest.raises(KeyError):
+            Interner().id_of("missing")
+
+    def test_get_default(self):
+        interner = Interner()
+        assert interner.get("nope") is None
+        assert interner.get("nope", -1) == -1
+
+    def test_contains_len_iter(self):
+        interner = Interner(["p", "q"])
+        assert "p" in interner and "r" not in interner
+        assert len(interner) == 2
+        assert list(interner) == ["p", "q"]
+
+    def test_intern_many_preserves_order(self):
+        interner = Interner()
+        assert interner.intern_many(["a", "b", "a"]) == [0, 1, 0]
+
+    def test_tokens_copy_is_safe(self):
+        interner = Interner(["a"])
+        tokens = interner.tokens()
+        tokens.append("b")
+        assert len(interner) == 1
+
+    def test_approx_bytes_grows(self):
+        interner = Interner()
+        empty = interner.approx_bytes()
+        for i in range(100):
+            interner.intern(f"token-{i}")
+        assert interner.approx_bytes() > empty
+
+
+class TestInternerProperties:
+    @given(st.lists(st.text(max_size=12)))
+    def test_bijection(self, tokens):
+        """intern/token_of is a bijection over distinct tokens."""
+        interner = Interner()
+        ids = [interner.intern(t) for t in tokens]
+        for token, tid in zip(tokens, ids):
+            assert interner.token_of(tid) == token
+            assert interner.id_of(token) == interner.intern(token)
+        assert len(interner) == len(set(tokens))
+
+    @given(st.lists(st.integers(), min_size=1))
+    def test_ids_dense(self, tokens):
+        """Assigned ids are exactly 0..n-1."""
+        interner = Interner()
+        for t in tokens:
+            interner.intern(t)
+        assert sorted(interner.id_of(t) for t in set(tokens)) == list(
+            range(len(set(tokens)))
+        )

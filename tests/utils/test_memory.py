@@ -1,0 +1,43 @@
+"""Tests for memory accounting."""
+
+from repro.utils.memory import MemoryMeter, approx_sizeof
+
+
+class WithApprox:
+    def approx_bytes(self) -> int:
+        return 12345
+
+
+class TestApproxSizeof:
+    def test_protocol_dispatch(self):
+        assert approx_sizeof(WithApprox()) == 12345
+
+    def test_container_recursion(self):
+        flat = approx_sizeof([1, 2, 3])
+        nested = approx_sizeof([[1, 2, 3], [4, 5, 6]])
+        assert nested > flat
+
+    def test_mapping(self):
+        assert approx_sizeof({"a": "bb"}) > approx_sizeof({})
+
+    def test_strings_not_recursed(self):
+        # a string is a Sequence of strings; must not loop forever
+        assert approx_sizeof("hello" * 100) > 0
+
+
+class TestMemoryMeter:
+    def test_register_measure(self):
+        meter = MemoryMeter()
+        meter.register("c", WithApprox())
+        assert meter.measure() == {"c": 12345}
+        assert meter.total_bytes() == 12345
+        assert meter.total_megabytes() == 12345 / 1e6
+
+    def test_replace_and_unregister(self):
+        meter = MemoryMeter()
+        meter.register("c", WithApprox())
+        meter.register("c", [1, 2, 3])
+        assert meter.total_bytes() != 12345
+        meter.unregister("c")
+        meter.unregister("missing")  # no-op
+        assert meter.total_bytes() == 0

@@ -1,0 +1,109 @@
+"""Tests for streaming statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import OnlineMean, OnlineStats, ReservoirSample, percentile
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e9, max_value=1e9
+)
+
+
+class TestOnlineMean:
+    def test_empty(self):
+        assert OnlineMean().count == 0
+
+    def test_matches_numpy(self):
+        values = [1.0, 2.5, -3.0, 7.25]
+        acc = OnlineMean()
+        for v in values:
+            acc.add(v)
+        assert acc.mean == pytest.approx(np.mean(values))
+
+    def test_merge(self):
+        a, b = OnlineMean(), OnlineMean()
+        for v in (1.0, 2.0):
+            a.add(v)
+        for v in (3.0, 4.0, 5.0):
+            b.add(v)
+        a.merge(b)
+        assert a.count == 5
+        assert a.mean == pytest.approx(3.0)
+
+    def test_merge_empty(self):
+        a = OnlineMean()
+        a.merge(OnlineMean())
+        assert a.count == 0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=200))
+    def test_property_mean(self, values):
+        acc = OnlineMean()
+        for v in values:
+            acc.add(v)
+        assert acc.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-6)
+
+
+class TestOnlineStats:
+    def test_matches_numpy(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0]
+        acc = OnlineStats()
+        for v in values:
+            acc.add(v)
+        assert acc.mean == pytest.approx(np.mean(values))
+        assert acc.variance == pytest.approx(np.var(values))
+        assert acc.min == 1.0 and acc.max == 9.0
+
+    def test_single_value_zero_variance(self):
+        acc = OnlineStats()
+        acc.add(42.0)
+        assert acc.variance == 0.0
+        assert acc.stddev == 0.0
+
+    @given(st.lists(finite_floats, min_size=2, max_size=200))
+    def test_property_variance_nonnegative(self, values):
+        acc = OnlineStats()
+        for v in values:
+            acc.add(v)
+        assert acc.variance >= 0.0
+        assert acc.min <= acc.mean <= acc.max + 1e-9
+
+
+class TestReservoirSample:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ReservoirSample(capacity=0)
+
+    def test_small_stream_kept_exactly(self):
+        res = ReservoirSample(capacity=100)
+        for v in range(10):
+            res.add(float(v))
+        assert sorted(res.values()) == [float(v) for v in range(10)]
+
+    def test_bounded(self):
+        res = ReservoirSample(capacity=32, seed=1)
+        for v in range(10_000):
+            res.add(float(v))
+        assert len(res.values()) == 32
+        assert res.count == 10_000
+
+    def test_percentile_empty_nan(self):
+        assert ReservoirSample().percentile(50) != ReservoirSample().percentile(50)
+
+    def test_percentile_approximates(self):
+        res = ReservoirSample(capacity=2048, seed=3)
+        for v in range(20_000):
+            res.add(float(v))
+        # the reservoir median should be near the true median
+        assert abs(res.percentile(50) - 10_000) < 1_500
+
+
+class TestPercentileHelper:
+    def test_empty_nan(self):
+        out = percentile([], 50)
+        assert out != out
+
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0

@@ -1,0 +1,46 @@
+"""Tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.utils.tables import format_float, format_percent, format_table
+
+
+class TestFormatPercent:
+    def test_paper_style(self):
+        assert format_percent(0.6404) == "64.04%"
+
+    def test_digits(self):
+        assert format_percent(0.5, digits=0) == "50%"
+
+
+class TestFormatFloat:
+    def test_default_digits(self):
+        assert format_float(3.14159) == "3.1416"
+
+    def test_nan(self):
+        assert format_float(float("nan")) == "nan"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(("a", "bbbb"), [("xx", 1), ("y", 22)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        # all rows the same width
+        assert len({len(l) for l in lines}) == 1
+
+    def test_title(self):
+        out = format_table(("c",), [(1,)], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_float_cells_formatted(self):
+        out = format_table(("v",), [(0.123456,)])
+        assert "0.1235" in out
+
+    def test_row_arity_checked(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_empty_rows_ok(self):
+        out = format_table(("a",), [])
+        assert "a" in out

@@ -1,0 +1,58 @@
+"""Tests for the bulk semantic matrix."""
+
+import numpy as np
+import pytest
+
+from repro.vsm.matrix import SemanticMatrix
+from repro.vsm.vector import SemanticVector
+
+
+@pytest.fixture
+def matrix():
+    m = SemanticMatrix()
+    m.add(10, SemanticVector(scalar_ids=(1, 2, 3)))
+    m.add(11, SemanticVector(scalar_ids=(1, 2, 4)))
+    m.add(12, SemanticVector(scalar_ids=(7, 8)))
+    return m
+
+
+class TestSemanticMatrix:
+    def test_len_and_keys(self, matrix):
+        assert len(matrix) == 3
+        assert matrix.keys == [10, 11, 12]
+
+    def test_csr_shape(self, matrix):
+        csr = matrix.to_csr()
+        assert csr.shape == (3, 9)
+        assert csr.nnz == 8
+
+    def test_pairwise_values(self, matrix):
+        sims = matrix.pairwise_dpa()
+        assert sims.shape == (3, 3)
+        assert sims[0, 0] == pytest.approx(1.0)
+        assert sims[0, 1] == pytest.approx(2 / 3)
+        assert sims[0, 2] == pytest.approx(0.0)
+
+    def test_pairwise_symmetric(self, matrix):
+        sims = matrix.pairwise_dpa()
+        assert np.allclose(sims, sims.T)
+
+    def test_nearest(self, matrix):
+        out = matrix.nearest(0, k=2)
+        assert out[0] == (11, pytest.approx(2 / 3))
+        assert all(key != 10 for key, _ in out)  # self excluded
+
+    def test_nearest_no_matches(self):
+        m = SemanticMatrix()
+        m.add(1, SemanticVector(scalar_ids=(1,)))
+        m.add(2, SemanticVector(scalar_ids=(2,)))
+        assert m.nearest(0, k=5) == []
+
+    def test_duplicate_items_collapsed(self):
+        m = SemanticMatrix()
+        m.add(1, SemanticVector(scalar_ids=(3, 3, 3)))
+        assert m.to_csr().nnz == 1
+
+    def test_empty_matrix(self):
+        m = SemanticMatrix()
+        assert m.to_csr().shape == (0, 0)

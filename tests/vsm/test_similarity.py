@@ -1,0 +1,117 @@
+"""Tests for DPA/IPA similarity — including the paper's exact Table 2."""
+
+import pytest
+
+from repro.core.extractor import Extractor
+from repro.traces.record import TraceRecord
+from repro.vsm.similarity import (
+    directory_similarity,
+    dpa_similarity,
+    ipa_similarity,
+    similarity,
+)
+from repro.vsm.vector import SemanticVector
+from repro.vsm.vocabulary import Vocabulary
+
+
+@pytest.fixture
+def paper_vectors():
+    """The semantic vectors of the paper's Table 1 example."""
+    extractor = Extractor(("user", "process", "host", "path"), Vocabulary())
+    a = extractor.extract(
+        TraceRecord(ts=0, fid=0, uid=1, pid=1, host=1, path="/home/user1/paper/a")
+    )
+    b = extractor.extract(
+        TraceRecord(ts=1, fid=1, uid=1, pid=2, host=1, path="/home/user1/paper/b")
+    )
+    c = extractor.extract(
+        TraceRecord(ts=2, fid=2, uid=2, pid=3, host=2, path="/home/user2/c")
+    )
+    return a, b, c
+
+
+class TestTable2Exact:
+    """The six numbers of the paper's Table 2, digit for digit."""
+
+    def test_dpa_ab(self, paper_vectors):
+        a, b, _ = paper_vectors
+        assert dpa_similarity(a, b) == pytest.approx(5 / 7)
+
+    def test_dpa_ac(self, paper_vectors):
+        a, _, c = paper_vectors
+        assert dpa_similarity(a, c) == pytest.approx(1 / 7)
+
+    def test_dpa_bc(self, paper_vectors):
+        _, b, c = paper_vectors
+        assert dpa_similarity(b, c) == pytest.approx(1 / 7)
+
+    def test_ipa_ab(self, paper_vectors):
+        a, b, _ = paper_vectors
+        assert ipa_similarity(a, b) == pytest.approx(2.75 / 4)
+
+    def test_ipa_ac(self, paper_vectors):
+        a, _, c = paper_vectors
+        assert ipa_similarity(a, c) == pytest.approx(0.25 / 4)
+
+    def test_ipa_bc(self, paper_vectors):
+        _, b, c = paper_vectors
+        assert ipa_similarity(b, c) == pytest.approx(0.25 / 4)
+
+
+class TestDirectorySimilarity:
+    def test_paper_value(self):
+        # /home/user1/paper/a vs /home/user1/paper/b -> 3/4
+        assert directory_similarity((1, 2, 3, 4), (1, 2, 3, 5)) == pytest.approx(0.75)
+
+    def test_none_paths(self):
+        assert directory_similarity(None, (1,)) == 0.0
+        assert directory_similarity((1,), None) == 0.0
+
+    def test_prefix_mode_position_sensitive(self):
+        bag = directory_similarity((1, 2, 3), (3, 2, 1), mode="bag")
+        prefix = directory_similarity((1, 2, 3), (3, 2, 1), mode="prefix")
+        assert bag == pytest.approx(1.0)
+        assert prefix == 0.0
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            directory_similarity((1,), (1,), mode="zigzag")
+
+
+class TestSimilarityDispatch:
+    def test_dispatch(self, paper_vectors):
+        a, b, _ = paper_vectors
+        assert similarity(a, b, method="ipa") == ipa_similarity(a, b)
+        assert similarity(a, b, method="dpa") == dpa_similarity(a, b)
+
+    def test_unknown_method(self, paper_vectors):
+        a, b, _ = paper_vectors
+        with pytest.raises(ValueError):
+            similarity(a, b, method="cosine")
+
+
+class TestEdgeCases:
+    def test_empty_vectors(self):
+        e = SemanticVector(scalar_ids=())
+        assert dpa_similarity(e, e) == 0.0
+        assert ipa_similarity(e, e) == 0.0
+
+    def test_identity_full_similarity(self):
+        v = SemanticVector(scalar_ids=(1, 2), path_ids=(7, 8))
+        assert dpa_similarity(v, v) == pytest.approx(1.0)
+        assert ipa_similarity(v, v) == pytest.approx(1.0)
+
+    def test_one_sided_path(self):
+        with_path = SemanticVector(scalar_ids=(1, 2), path_ids=(7, 8))
+        without = SemanticVector(scalar_ids=(1, 2))
+        # scalars fully match; path contributes 0 but counts as one item
+        assert ipa_similarity(with_path, without) == pytest.approx(2 / 3)
+
+    def test_dpa_deep_path_dominates(self):
+        """The §3.2.1 drawback: deep paths drown other attributes in DPA."""
+        deep_a = SemanticVector(scalar_ids=(1, 2, 3), path_ids=tuple(range(10, 22)))
+        deep_b = SemanticVector(scalar_ids=(1, 2, 3), path_ids=tuple(range(30, 42)))
+        # same user/proc/host, totally different deep paths
+        assert dpa_similarity(deep_a, deep_b) == pytest.approx(3 / 15)
+        assert ipa_similarity(deep_a, deep_b) == pytest.approx(3 / 4)
+        assert ipa_similarity(deep_a, deep_b) > dpa_similarity(deep_a, deep_b)
