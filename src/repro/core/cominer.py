@@ -9,13 +9,44 @@ For a file ``x`` and each graph successor ``y``:
 
 entries with ``R > max_strength`` go into (or re-rank within) the file's
 Correlator List; weaker ones are filtered out. This mirrors the paper's
-Algorithm 1 pseudo-code, run incrementally per request.
+Algorithm 1 pseudo-code.
+
+Incremental hot path (the dirty/lazy contract)
+----------------------------------------------
+
+The paper's "reasonable overhead" claim (§4, Table 4) needs per-request
+mining to be O(small). Two mechanisms make it so:
+
+* **Versioned similarity cache** — ``sim(x, y)`` depends only on the two
+  semantic vectors, which change rarely. :meth:`semantic_distance`
+  consults a :class:`~repro.core.simcache.SimilarityCache` keyed by the
+  pair's vector versions, so Function 1 reruns only when an endpoint's
+  vector truly changed (a stale value is never served — version mismatch
+  is a miss by construction).
+
+* **Dirty lists, lazy re-rank** — a request for ``x`` changes the
+  denominator of every ``F(x, ·)``, so the whole list of ``x`` is stale;
+  instead of re-running Algorithm 1 immediately, ``observe`` calls
+  :meth:`mark_dirty` and the full re-rank + stale-edge sweep is deferred
+  to the first *query* of the list (:meth:`query` / :meth:`flush_all`).
+  Reinforced edges (``pred → x`` for predecessors in the window) only
+  move one entry, so they are refreshed eagerly via
+  :meth:`reevaluate_edge` — exactly the schedule the eager miner runs,
+  which keeps lazy and eager query results identical when queries follow
+  the triggering request.
+
+* **Change ticks** — the graph stamps every node with a monotonic
+  :meth:`~repro.graph.correlation_graph.CorrelationGraph.change_tick`;
+  :meth:`reevaluate` records the tick it ranked at, and
+  :meth:`flush_nodes` (the batch-``mine`` path) re-ranks exactly the
+  touched nodes whose tick moved since they were last ranked.
 """
 
 from __future__ import annotations
 
 from repro.core.config import FarmerConfig
 from repro.core.constructor import GraphConstructor
+from repro.core.simcache import SimCacheStats, SimilarityCache
 from repro.graph.correlator_list import CorrelatorList
 from repro.vsm.similarity import similarity
 
@@ -28,21 +59,36 @@ class CoMiner:
     def __init__(self, config: FarmerConfig, constructor: GraphConstructor) -> None:
         self.config = config
         self.constructor = constructor
+        self.sim_cache = SimilarityCache(config.sim_cache_capacity)
         self._lists: dict[int, CorrelatorList] = {}
+        self._dirty: set[int] = set()
+        self._ranked_tick: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # degree evaluation
     # ------------------------------------------------------------------
 
     def semantic_distance(self, src: int, dst: int) -> float:
-        """``sim(src, dst)`` from the stored semantic vectors (0 if unknown)."""
-        va = self.constructor.vector_of(src)
-        vb = self.constructor.vector_of(dst)
+        """``sim(src, dst)`` from the stored semantic vectors (0 if unknown).
+
+        Served from the versioned cache when both endpoints' vectors are
+        unchanged since the pair was last evaluated.
+        """
+        constructor = self.constructor
+        va = constructor.vector_of(src)
+        vb = constructor.vector_of(dst)
         if va is None or vb is None:
             return 0.0
-        return similarity(
+        ver_a = constructor.vector_version(src)
+        ver_b = constructor.vector_version(dst)
+        cached = self.sim_cache.lookup(src, dst, ver_a, ver_b)
+        if cached is not None:
+            return cached
+        value = similarity(
             va, vb, method=self.config.path_method, path_mode=self.config.path_mode
         )
+        self.sim_cache.store(src, dst, ver_a, ver_b, value)
+        return value
 
     def correlation_degree(self, src: int, dst: int) -> float:
         """Function 2: ``R = sim·p + F·(1−p)``."""
@@ -50,6 +96,10 @@ class CoMiner:
         sim = self.semantic_distance(src, dst) if p > 0.0 else 0.0
         freq = self.constructor.graph.frequency(src, dst) if p < 1.0 else 0.0
         return sim * p + freq * (1.0 - p)
+
+    def sim_cache_stats(self) -> SimCacheStats:
+        """Similarity-cache counters (misses = Function-1 computations)."""
+        return self.sim_cache.stats()
 
     # ------------------------------------------------------------------
     # list maintenance
@@ -67,7 +117,10 @@ class CoMiner:
 
     def reevaluate(self, src: int) -> CorrelatorList:
         """Re-run Algorithm 1 for ``src``: evaluate every graph successor,
-        filter by the validity threshold, keep the list sorted."""
+        filter by the validity threshold, keep the list sorted. Also the
+        stale-edge sweep: entries whose edge the graph has evicted are
+        dropped. Clears the dirty flag and records the graph tick ranked
+        at."""
         successors = self.constructor.graph.successors(src)
         lst = self._list_for(src)
         # drop list entries whose edge the graph has evicted
@@ -76,14 +129,76 @@ class CoMiner:
             lst.discard(fid)
         for dst in successors:
             lst.update(dst, self.correlation_degree(src, dst))
+        self._dirty.discard(src)
+        self._ranked_tick[src] = self.constructor.graph.change_tick(src)
         return lst
 
     def reevaluate_edge(self, src: int, dst: int) -> None:
         """Refresh a single (src → dst) entry after an edge reinforcement."""
         self._list_for(src).update(dst, self.correlation_degree(src, dst))
 
+    # ------------------------------------------------------------------
+    # dirty/lazy protocol
+    # ------------------------------------------------------------------
+
+    def mark_dirty(self, fid: int) -> None:
+        """Note that ``fid``'s frequency denominators changed; the full
+        re-rank is deferred to the first query of the list."""
+        self._dirty.add(fid)
+
+    def is_dirty(self, fid: int) -> bool:
+        """Whether ``fid``'s list awaits its deferred re-rank."""
+        return fid in self._dirty
+
+    def n_dirty(self) -> int:
+        """Number of lists awaiting a deferred re-rank."""
+        return len(self._dirty)
+
+    def query(self, fid: int) -> CorrelatorList | None:
+        """The Correlator List of ``fid``, re-ranked first if dirty.
+
+        This is the entry point the Sorter (and therefore ``correlators``
+        / ``predict``) uses; every result it returns reflects a full
+        Algorithm-1 pass over the current graph and vector state.
+        """
+        if fid in self._dirty:
+            return self.reevaluate(fid)
+        return self._lists.get(fid)
+
+    def flush_all(self) -> None:
+        """Re-rank every dirty list (aggregate queries call this first)."""
+        while self._dirty:
+            self.reevaluate(next(iter(self._dirty)))
+
+    def flush_nodes(self, fids) -> None:
+        """Batch-mode flush: re-rank exactly the given nodes, skipping
+        any whose graph change tick has not moved since it was last
+        ranked (``Farmer.mine`` collects the fids its batch touched and
+        defers all list maintenance to one such pass at the end, so
+        chunked mining costs O(touched), not O(graph))."""
+        graph = self.constructor.graph
+        ranked = self._ranked_tick
+        for fid in fids:
+            if ranked.get(fid, 0) != graph.change_tick(fid):
+                self.reevaluate(fid)
+            else:
+                self._dirty.discard(fid)
+
+    def flush_graph_changes(self) -> None:
+        """Full resync: re-rank every node in the graph whose change
+        tick moved since it was last ranked. O(graph) — prefer
+        :meth:`flush_nodes` when the touched set is known."""
+        self.flush_nodes(self.constructor.graph.nodes())
+        self._dirty.clear()
+
+    # ------------------------------------------------------------------
+    # views & accounting
+    # ------------------------------------------------------------------
+
     def list_of(self, fid: int) -> CorrelatorList | None:
-        """The Correlator List of ``fid`` (None if the file has none yet)."""
+        """The Correlator List of ``fid`` as-is (None if the file has none
+        yet; may be awaiting its deferred re-rank — use :meth:`query` for
+        the re-ranked view)."""
         return self._lists.get(fid)
 
     def n_lists(self) -> int:
@@ -91,9 +206,17 @@ class CoMiner:
         return len(self._lists)
 
     def lists(self) -> dict[int, CorrelatorList]:
-        """Live view of all lists (read-only use)."""
+        """Live view of all lists (read-only use; call :meth:`flush_all`
+        first if re-ranked results are required)."""
         return self._lists
 
     def approx_bytes(self) -> int:
-        """Footprint of all Correlator Lists."""
-        return 64 + sum(104 + lst.approx_bytes() for lst in self._lists.values())
+        """Footprint of all Correlator Lists plus the similarity cache
+        and the dirty/ranked-tick bookkeeping."""
+        return (
+            64
+            + sum(104 + lst.approx_bytes() for lst in self._lists.values())
+            + self.sim_cache.approx_bytes()
+            + 56 * len(self._ranked_tick)
+            + 32 * len(self._dirty)
+        )

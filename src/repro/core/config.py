@@ -45,6 +45,15 @@ class FarmerConfig:
         correlator_capacity: max entries per Correlator List.
         prefetch_k: how many correlates the FPA prefetcher requests.
         op_filter: if set, only these operations are mined.
+        sim_cache_capacity: max (pair → similarity) entries kept in the
+            versioned similarity cache; 0 disables caching (every
+            Function-1 evaluation is recomputed, the eager baseline).
+        lazy_reevaluation: if True (default), ``observe()`` only marks
+            the requested file's Correlator List dirty and refreshes the
+            reinforced edges; the full Algorithm-1 re-rank runs on the
+            first query of a dirty list. If False, every request re-runs
+            Algorithm 1 immediately (the paper's literal per-request
+            schedule; used as the equivalence reference in tests).
     """
 
     weight_p: float = 0.7
@@ -61,6 +70,8 @@ class FarmerConfig:
     correlator_capacity: int = 16
     prefetch_k: int = 4
     op_filter: tuple[str, ...] | None = None
+    sim_cache_capacity: int = 65536
+    lazy_reevaluation: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.weight_p <= 1.0:
@@ -94,6 +105,8 @@ class FarmerConfig:
             raise ConfigError("correlator_capacity must be >= 1")
         if self.prefetch_k < 0:
             raise ConfigError("prefetch_k must be >= 0")
+        if self.sim_cache_capacity < 0:
+            raise ConfigError("sim_cache_capacity must be >= 0")
 
     def with_(self, **changes) -> "FarmerConfig":
         """Functional update (re-validates)."""

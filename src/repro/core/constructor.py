@@ -50,6 +50,10 @@ class GraphConstructor:
         """Semantic vector currently representing ``fid`` (None if unseen)."""
         return self.vectors.get(fid)
 
+    def vector_version(self, fid: int) -> int:
+        """Version of ``fid``'s vector (0 if unseen; bumps on real change)."""
+        return self.vectors.version_of(fid)
+
     def n_vectors(self) -> int:
         """Number of files with a stored vector."""
         return len(self.vectors)

@@ -5,6 +5,11 @@ The Correlator Lists are kept sorted incrementally by
 the sorted views plus aggregate statistics (used by Table 4's memory
 accounting and by the examples). It exists as its own component to keep
 the stage structure of the paper's Figure 2 recognisable in the code.
+
+Under lazy re-evaluation the Sorter is also the flush point: per-file
+views go through :meth:`CoMiner.query` (re-ranking the list if dirty)
+and aggregate views flush every dirty list first, so callers always see
+fully re-ranked results.
 """
 
 from __future__ import annotations
@@ -36,16 +41,17 @@ class Sorter:
 
     def correlators(self, fid: int) -> list[CorrelatorEntry]:
         """All valid correlates of ``fid``, strongest first."""
-        lst = self._miner.list_of(fid)
+        lst = self._miner.query(fid)
         return lst.entries() if lst is not None else []
 
     def top(self, fid: int, k: int) -> list[CorrelatorEntry]:
         """The ``k`` strongest correlates of ``fid``."""
-        lst = self._miner.list_of(fid)
+        lst = self._miner.query(fid)
         return lst.top(k) if lst is not None else []
 
     def strongest_pairs(self, n: int = 10) -> list[tuple[int, CorrelatorEntry]]:
         """The globally strongest (file, correlate) pairs (reporting)."""
+        self._miner.flush_all()
         pairs: list[tuple[int, CorrelatorEntry]] = []
         for fid, lst in self._miner.lists().items():
             head = lst.top(1)
@@ -56,6 +62,7 @@ class Sorter:
 
     def snapshot(self) -> CorrelationSnapshot:
         """Aggregate statistics of the current mining state."""
+        self._miner.flush_all()
         lists = [lst for lst in self._miner.lists().values() if len(lst) > 0]
         if not lists:
             return CorrelationSnapshot(0, 0, 0.0, 0, 0.0)

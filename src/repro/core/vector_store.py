@@ -13,6 +13,11 @@ A file's semantic vector must summarise *who touches it*. Three policies:
   library's vector overlaps every program currently linking it while a
   private file's vector stays a single context. The cap bounds memory and
   ages out stale contexts LRU-style.
+
+Every file's vector carries a monotonically increasing *version*, bumped
+only when an update actually changes the vector. Versions are what the
+similarity cache keys its entries on: as long as both endpoints' versions
+are unchanged, a cached ``sim(x, y)`` is exact and need not be recomputed.
 """
 
 from __future__ import annotations
@@ -45,9 +50,16 @@ class VectorStore:
         self.config = config
         self.extractor = extractor
         self._vectors: dict[int, SemanticVector] = {}
+        self._versions: dict[int, int] = {}
         self._merge: dict[int, _MergeState] = {}
         self._scalar_attrs = tuple(a for a in config.attributes if a != "path")
         self._wants_path = "path" in config.attributes
+
+    def _store(self, fid: int, vector: SemanticVector) -> None:
+        """Install a vector, bumping the version only on a real change."""
+        if self._vectors.get(fid) != vector:
+            self._vectors[fid] = vector
+            self._versions[fid] = self._versions.get(fid, 0) + 1
 
     def update(self, record: TraceRecord) -> None:
         """Fold one request into the file's vector."""
@@ -55,10 +67,10 @@ class VectorStore:
         policy = self.config.sv_policy
         if policy == "first":
             if fid not in self._vectors:
-                self._vectors[fid] = self.extractor.extract(record)
+                self._store(fid, self.extractor.extract(record))
             return
         if policy == "latest":
-            self._vectors[fid] = self.extractor.extract(record)
+            self._store(fid, self.extractor.extract(record))
             return
         # merge policy
         state = self._merge.get(fid)
@@ -82,7 +94,7 @@ class VectorStore:
                     bucket.popitem(last=False)
         if self._wants_path and record.path is not None:
             state.path = record.path
-        self._vectors[fid] = self._build_merged(state)
+        self._store(fid, self._build_merged(state))
 
     def _build_merged(self, state: _MergeState) -> SemanticVector:
         vocab = self.extractor.vocabulary
@@ -101,12 +113,17 @@ class VectorStore:
         """Current vector of ``fid`` (None if never seen)."""
         return self._vectors.get(fid)
 
+    def version_of(self, fid: int) -> int:
+        """Version of ``fid``'s vector: 0 if unseen, then +1 per change."""
+        return self._versions.get(fid, 0)
+
     def __len__(self) -> int:
         return len(self._vectors)
 
     def approx_bytes(self) -> int:
-        """Vector store footprint (merge state included)."""
+        """Vector store footprint (merge state and version table included)."""
         total = 64 + sum(104 + v.approx_bytes() for v in self._vectors.values())
+        total += 56 * len(self._versions)
         for state in self._merge.values():
             total += 64
             for bucket in state.values.values():

@@ -14,6 +14,7 @@ to the truly correlated set.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
@@ -37,14 +38,17 @@ class EdgeStats:
 
 @dataclass(slots=True)
 class NodeState:
-    """Per-file graph state: access count and successor table."""
+    """Per-file graph state: access count, successor table and a change
+    tick that advances whenever either mutates (the miner compares ticks
+    to skip re-evaluating files whose graph state is unchanged)."""
 
     access_count: int = 0
     successors: dict[int, EdgeStats] = field(default_factory=dict)
+    change_tick: int = 0
 
     def approx_bytes(self) -> int:
         """Approximate resident size of this node and its edges."""
-        return 72 + sum(104 + e.approx_bytes() for e in self.successors.values())
+        return 80 + sum(104 + e.approx_bytes() for e in self.successors.values())
 
 
 class CorrelationGraph:
@@ -66,7 +70,9 @@ class CorrelationGraph:
         self.successor_capacity = successor_capacity
         self._weight_fn = weight_fn
         self._nodes: dict[int, NodeState] = {}
-        self._recent: list[int] = []  # sliding window of the last `window`+1 fids
+        # sliding window of the last `window` fids; maxlen makes append
+        # O(1) with automatic expiry (no list.pop(0) churn)
+        self._recent: deque[int] = deque(maxlen=window)
 
     # ------------------------------------------------------------------
     # construction
@@ -85,6 +91,7 @@ class CorrelationGraph:
             node = NodeState()
             self._nodes[fid] = node
         node.access_count += 1
+        node.change_tick += 1
 
         touched: list[int] = []
         seen: set[int] = set()
@@ -96,8 +103,6 @@ class CorrelationGraph:
             self._add_edge(pred, fid, distance)
             touched.append(pred)
         self._recent.append(fid)
-        if len(self._recent) > self.window:
-            self._recent.pop(0)
         return touched
 
     def _add_edge(self, src: int, dst: int, distance: int) -> None:
@@ -105,6 +110,7 @@ class CorrelationGraph:
         if node is None:  # src seen only through the window (shouldn't happen)
             node = NodeState()
             self._nodes[src] = node
+        node.change_tick += 1
         edge = node.successors.get(dst)
         if edge is None:
             if len(node.successors) >= self.successor_capacity:
@@ -128,6 +134,16 @@ class CorrelationGraph:
         """Raw access count ``N_A`` of a file (0 if never seen)."""
         node = self._nodes.get(fid)
         return node.access_count if node else 0
+
+    def change_tick(self, fid: int) -> int:
+        """Monotonic per-node change tick (0 if never seen).
+
+        Advances every time the node's access count or successor table
+        mutates, so a consumer holding the tick it last evaluated at can
+        tell in O(1) whether re-evaluation could possibly change anything.
+        """
+        node = self._nodes.get(fid)
+        return node.change_tick if node else 0
 
     def successors(self, fid: int) -> dict[int, EdgeStats]:
         """Successor table of a file (live view; empty dict if none)."""

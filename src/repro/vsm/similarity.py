@@ -72,12 +72,24 @@ def dpa_similarity(a: SemanticVector, b: SemanticVector) -> float:
 def ipa_similarity(
     a: SemanticVector, b: SemanticVector, path_mode: str = "bag"
 ) -> float:
-    """Function 1 with the Integrated Path Algorithm."""
+    """Function 1 with the Integrated Path Algorithm.
+
+    Bag mode runs on the vectors' precomputed ``sorted_path`` tuples so
+    the per-comparison cost is a single linear merge — no sorting on the
+    hot path.
+    """
     denom = max(a.n_items("ipa"), b.n_items("ipa"))
     if denom == 0:
         return 0.0
     hits = float(bag_intersection(a.scalar_ids, b.scalar_ids))
-    hits += directory_similarity(a.path_ids, b.path_ids, mode=path_mode)
+    pa, pb = a.path_ids, b.path_ids
+    if pa and pb:
+        if path_mode == "bag":
+            hits += bag_intersection(a.sorted_path, b.sorted_path) / max(
+                len(pa), len(pb)
+            )
+        else:
+            hits += directory_similarity(pa, pb, mode=path_mode)
     return hits / denom
 
 

@@ -11,7 +11,7 @@ path components. The split lets the two path algorithms coexist:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["SemanticVector", "bag_intersection"]
 
@@ -41,14 +41,29 @@ class SemanticVector:
         scalar_ids: sorted interned ids of the scalar items.
         path_ids: interned path-component ids in path order, or ``None``
             when the trace carries no path for this file.
+        sorted_path: ``path_ids`` pre-sorted for bag intersection (the
+            IPA bag-mode hot path); computed lazily on first use and
+            cached, so the sort cost is paid at most once per vector and
+            not at all under configurations that never bag-compare paths.
     """
 
     scalar_ids: tuple[int, ...]
     path_ids: tuple[int, ...] | None = None
+    _sorted_path: tuple[int, ...] | None = field(
+        init=False, repr=False, compare=False, default=None
+    )
 
     def __post_init__(self) -> None:
         if list(self.scalar_ids) != sorted(self.scalar_ids):
             object.__setattr__(self, "scalar_ids", tuple(sorted(self.scalar_ids)))
+
+    @property
+    def sorted_path(self) -> tuple[int, ...]:
+        cached = self._sorted_path
+        if cached is None:
+            cached = tuple(sorted(self.path_ids)) if self.path_ids else ()
+            object.__setattr__(self, "_sorted_path", cached)
+        return cached
 
     def n_items(self, method: str) -> int:
         """Item count under a path algorithm ("dpa" or "ipa").
@@ -74,11 +89,12 @@ class SemanticVector:
 
     def sorted_path_ids(self) -> tuple[int, ...]:
         """Path component ids sorted for bag intersection ((), if no path)."""
-        if self.path_ids is None:
-            return ()
-        return tuple(sorted(self.path_ids))
+        return self.sorted_path
 
     def approx_bytes(self) -> int:
         """Approximate resident size (memory-overhead accounting)."""
         n = len(self.scalar_ids) + (len(self.path_ids) if self.path_ids else 0)
-        return 64 + 8 * n
+        total = 64 + 8 * n
+        if self._sorted_path:
+            total += 56 + 8 * len(self._sorted_path)
+        return total

@@ -106,3 +106,44 @@ class TestMergePolicy:
         for i in range(30):
             store.update(make_record(i, uid=i, path=f"/d/{i}"))
         assert store.approx_bytes() > before
+
+
+class TestVectorVersions:
+    def test_unseen_is_zero(self):
+        assert store_for("merge").version_of(42) == 0
+
+    def test_first_update_bumps(self):
+        store = store_for("merge")
+        store.update(make_record(1))
+        assert store.version_of(1) == 1
+
+    def test_identical_update_does_not_bump(self):
+        """The version moves only when the vector actually changes."""
+        for policy in ("merge", "latest"):
+            store = store_for(policy)
+            store.update(make_record(1, uid=1, path="/a/b"))
+            v1 = store.version_of(1)
+            store.update(make_record(1, uid=1, path="/a/b"))
+            assert store.version_of(1) == v1
+
+    def test_changed_attributes_bump(self):
+        for policy in ("merge", "latest"):
+            store = store_for(policy)
+            store.update(make_record(1, uid=1))
+            store.update(make_record(1, uid=2))
+            assert store.version_of(1) == 2
+
+    def test_first_policy_freezes_version(self):
+        store = store_for("first")
+        store.update(make_record(1, uid=1))
+        store.update(make_record(1, uid=2))
+        assert store.version_of(1) == 1
+
+    def test_versions_monotonic(self):
+        store = store_for("latest")
+        versions = []
+        for uid in (1, 2, 2, 3, 1):
+            store.update(make_record(1, uid=uid))
+            versions.append(store.version_of(1))
+        assert versions == sorted(versions)
+        assert versions[-1] == 4  # uid 2->2 did not bump

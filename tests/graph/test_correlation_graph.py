@@ -120,3 +120,38 @@ class TestCapacity:
         for fid in range(100):
             g.observe(fid)
         assert g.approx_bytes() > empty
+
+
+class TestChangeTicks:
+    def test_unseen_is_zero(self):
+        assert CorrelationGraph().change_tick(7) == 0
+
+    def test_own_access_bumps(self):
+        g = CorrelationGraph()
+        g.observe(1)
+        t1 = g.change_tick(1)
+        assert t1 > 0
+        g.observe(1)
+        assert g.change_tick(1) > t1
+
+    def test_edge_reinforcement_bumps_predecessor(self):
+        g = CorrelationGraph(window=2)
+        g.observe(1)
+        t1 = g.change_tick(1)
+        g.observe(2)  # reinforces 1 -> 2
+        assert g.change_tick(1) > t1
+
+    def test_untouched_node_stable(self):
+        g = CorrelationGraph(window=1)
+        for fid in (1, 2, 3):
+            g.observe(fid)
+        t1 = g.change_tick(1)
+        g.observe(9)  # 1 is out of the window: no edge from 1
+        assert g.change_tick(1) == t1
+
+    def test_window_is_bounded_deque(self):
+        """The sliding window keeps exactly `window` recent fids."""
+        g = CorrelationGraph(window=2)
+        for fid in range(10):
+            g.observe(fid)
+        assert g.window_contents() == (8, 9)
