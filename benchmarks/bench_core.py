@@ -25,7 +25,7 @@ EAGER_NO_CACHE = FarmerConfig(lazy_reevaluation=False, sim_cache_capacity=0)
 def _sims_per_request(farmer: Farmer) -> float:
     """Function-1 computations per mined request (cache misses)."""
     n = farmer.stats().n_observed
-    return farmer.miner.sim_cache_stats().misses / n if n else 0.0
+    return farmer.sim_cache_stats().misses / n if n else 0.0
 
 
 def bench_farmer_observe_throughput(benchmark, hp_bench_trace):
@@ -49,7 +49,7 @@ def bench_farmer_observe_throughput(benchmark, hp_bench_trace):
     for record in hp_bench_trace:
         eager.observe(record)
     per_req_us = benchmark.stats["mean"] / len(hp_bench_trace) * 1e6
-    stats = farmer.miner.sim_cache_stats()
+    stats = farmer.sim_cache_stats()
     lazy_sims = _sims_per_request(farmer)
     eager_sims = _sims_per_request(eager)
     ratio = eager_sims / lazy_sims if lazy_sims else float("inf")
@@ -102,7 +102,7 @@ def bench_predict_under_churn(benchmark, hp_bench_trace):
         return farmer
 
     farmer = benchmark.pedantic(churn, rounds=2, iterations=1)
-    stats = farmer.miner.sim_cache_stats()
+    stats = farmer.sim_cache_stats()
     per_req_us = benchmark.stats["mean"] / len(hp_bench_trace) * 1e6
     print(
         f"\n[observe+predict: {per_req_us:.1f} us/request; cache hit-rate "

@@ -1,0 +1,138 @@
+"""Benchmarks of the sharded mining service (`repro.service`).
+
+Single-miner vs 2/4/8-shard observe()+predict() throughput on the
+synthetic HP trace. Shard concurrency is modeled, not executed (the
+harness times each shard's substream replay separately; service wall
+time is the slowest shard — see :mod:`repro.service.harness`), so the
+numbers are per-core mining throughput, the quantity that scales with
+one miner shard per metadata server.
+
+Run with::
+
+    pytest benchmarks/bench_service.py -q -s \
+        -o python_files='bench_*.py' -o python_functions='bench_*'
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FarmerConfig
+from repro.core.farmer import Farmer
+from repro.service.harness import compare_single_vs_sharded, replay_single
+from repro.service.sharded import ShardedFarmer
+
+BASE = FarmerConfig()
+
+
+def _report(cmp_) -> None:
+    per_shard = ", ".join(
+        f"s{t.shard}:{t.n_records}r/{t.elapsed_s * 1e3:.0f}ms" for t in cmp_.timings
+    )
+    print(
+        f"\n[{cmp_.n_shards} shards: aggregate {cmp_.aggregate_throughput:,.0f} req/s "
+        f"vs single {cmp_.single_throughput:,.0f} req/s = {cmp_.speedup:.2f}x; "
+        f"{cmp_.n_boundary_echoes} echoes; cache hit {cmp_.cache_hit_rate:.1%}]"
+        f"\n[per-shard: {per_shard}]"
+    )
+
+
+@pytest.mark.parametrize("n_shards", [2, 4, 8])
+def bench_service_observe_predict_scaling(benchmark, hp_bench_trace, n_shards):
+    """Single-miner vs N-shard observe+predict throughput (FPA loop).
+
+    The benchmark times the sequential replay of every substream; the
+    printed aggregate models the shards running concurrently. The
+    4-shard configuration is the acceptance point: aggregate throughput
+    must be at least 2x the single-miner baseline.
+    """
+    single_s = replay_single(Farmer(BASE), hp_bench_trace, predict=True)
+
+    def sharded():
+        return compare_single_vs_sharded(
+            hp_bench_trace,
+            BASE.with_(n_shards=n_shards),
+            predict=True,
+            single_elapsed_s=single_s,
+        )
+
+    cmp_ = benchmark.pedantic(sharded, rounds=2, iterations=1)
+    _report(cmp_)
+    assert cmp_.n_records == len(hp_bench_trace)
+    if n_shards == 4:
+        assert cmp_.speedup >= 2.0, (
+            f"4-shard aggregate throughput only {cmp_.speedup:.2f}x the "
+            f"single-miner baseline (acceptance floor is 2x)"
+        )
+
+
+def bench_service_observe_only_4shards(benchmark, hp_bench_trace):
+    """Pure mining throughput (no per-request predict), 4 shards."""
+    single_s = replay_single(Farmer(BASE), hp_bench_trace, predict=False)
+
+    def sharded():
+        return compare_single_vs_sharded(
+            hp_bench_trace,
+            BASE.with_(n_shards=4),
+            predict=False,
+            single_elapsed_s=single_s,
+        )
+
+    cmp_ = benchmark.pedantic(sharded, rounds=2, iterations=1)
+    _report(cmp_)
+    assert cmp_.n_records == len(hp_bench_trace)
+
+
+def bench_service_strict_isolation_4shards(benchmark, hp_bench_trace):
+    """Upper bound: no boundary echoes (cross_shard_edges=False)."""
+    single_s = replay_single(Farmer(BASE), hp_bench_trace, predict=True)
+
+    def sharded():
+        return compare_single_vs_sharded(
+            hp_bench_trace,
+            BASE.with_(n_shards=4, cross_shard_edges=False),
+            predict=True,
+            single_elapsed_s=single_s,
+        )
+
+    cmp_ = benchmark.pedantic(sharded, rounds=2, iterations=1)
+    _report(cmp_)
+    assert cmp_.n_boundary_echoes == 0
+
+
+def bench_vector_freeze_hit_rate(benchmark, hp_bench_trace):
+    """The vector-stability heuristic: similarity-cache hit rate with
+    and without ``vector_freeze_threshold`` on the FPA loop."""
+
+    def frozen():
+        farmer = Farmer(BASE.with_(vector_freeze_threshold=8))
+        for record in hp_bench_trace:
+            farmer.observe(record)
+            farmer.predict(record.fid)
+        return farmer
+
+    farmer = benchmark.pedantic(frozen, rounds=2, iterations=1)
+    baseline = Farmer(BASE)
+    for record in hp_bench_trace:
+        baseline.observe(record)
+        baseline.predict(record.fid)
+    hot = farmer.sim_cache_stats()
+    cold = baseline.sim_cache_stats()
+    print(
+        f"\n[cache hit rate: freeze@8 {hot.hit_rate:.1%} vs "
+        f"unfrozen {cold.hit_rate:.1%}; Function-1 computations "
+        f"{hot.misses} vs {cold.misses}]"
+    )
+    assert hot.hit_rate > cold.hit_rate
+
+
+def bench_sharded_batch_mine_4shards(benchmark, hp_bench_trace):
+    """The service's batch ``mine()`` path (per-shard tick flush)."""
+
+    def mine():
+        return ShardedFarmer(BASE.with_(n_shards=4)).mine(hp_bench_trace)
+
+    service = benchmark.pedantic(mine, rounds=3, iterations=1)
+    assert service.n_observed == len(hp_bench_trace)
+    per_req_us = benchmark.stats["mean"] / len(hp_bench_trace) * 1e6
+    print(f"\n[sharded batch mine: {per_req_us:.1f} us/request (sequential)]")

@@ -28,11 +28,18 @@ from repro.core import (
     FarmerStats,
 )
 from repro.graph import CorrelationGraph, CorrelatorEntry, CorrelatorList
+from repro.service import (
+    HashShardRouter,
+    RangeShardRouter,
+    ServiceStats,
+    ShardedFarmer,
+)
 from repro.storage import (
     FarmerPrefetcher,
     LatencyModel,
     NoPrefetcher,
     PredictorPrefetcher,
+    ShardedFarmerPrefetcher,
     SimulationConfig,
     SimulationReport,
     run_simulation,
@@ -52,9 +59,14 @@ __all__ = [
     "CorrelatorEntry",
     "CorrelatorList",
     "FarmerPrefetcher",
+    "HashShardRouter",
     "LatencyModel",
     "NoPrefetcher",
     "PredictorPrefetcher",
+    "RangeShardRouter",
+    "ServiceStats",
+    "ShardedFarmer",
+    "ShardedFarmerPrefetcher",
     "SimulationConfig",
     "SimulationReport",
     "run_simulation",

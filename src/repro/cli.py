@@ -6,8 +6,12 @@ Usage::
     farmer-repro run fig7 --events 6000 --seeds 1,2,3
     farmer-repro run table2
     farmer-repro all --events 3000 --seeds 1
+    farmer-repro service --events 20000 --shards 1,2,4,8
 
-or equivalently ``python -m repro ...``.
+or equivalently ``python -m repro ...``. The ``service`` subcommand
+measures the sharded mining service against the single-miner baseline
+(aggregate throughput modeled as records over the slowest shard's
+replay — see :mod:`repro.service.harness`).
 """
 
 from __future__ import annotations
@@ -38,7 +42,124 @@ def build_parser() -> argparse.ArgumentParser:
 
     all_p = sub.add_parser("all", help="run every experiment")
     _add_scale_args(all_p)
+
+    svc_p = sub.add_parser(
+        "service", help="benchmark the sharded mining service vs one miner"
+    )
+    svc_p.add_argument(
+        "--trace", default="hp", help="synthetic trace profile (default hp)"
+    )
+    svc_p.add_argument(
+        "--events", type=int, default=20_000, help="trace length (events)"
+    )
+    svc_p.add_argument("--seed", type=int, default=1, help="trace seed")
+    svc_p.add_argument(
+        "--shards",
+        type=str,
+        default="1,2,4,8",
+        help="comma-separated shard counts, e.g. 1,4",
+    )
+    svc_p.add_argument(
+        "--policy",
+        choices=("hash", "range"),
+        default="hash",
+        help="namespace partitioning policy",
+    )
+    svc_p.add_argument(
+        "--isolate",
+        action="store_true",
+        help="strict partition isolation (drop cross-shard boundary edges)",
+    )
+    svc_p.add_argument(
+        "--per-shard-cache",
+        action="store_true",
+        help="private similarity cache per shard instead of the shared one",
+    )
+    svc_p.add_argument(
+        "--freeze",
+        type=int,
+        default=0,
+        help="vector_freeze_threshold (0 = off)",
+    )
+    svc_p.add_argument(
+        "--no-predict",
+        action="store_true",
+        help="time observe() only (skip the per-request FPA predict)",
+    )
     return parser
+
+
+def _run_service(args: argparse.Namespace) -> int:
+    from repro.core.farmer import Farmer
+    from repro.experiments.common import farmer_config_for
+    from repro.service.harness import compare_single_vs_sharded, replay_single
+    from repro.traces.synthetic import generate_trace
+
+    # farmer_config_for picks the trace's attribute set (Table 5): HP/LLNL
+    # mine paths, INS/RES fall back to file id + device
+    base = farmer_config_for(
+        args.trace,
+        shard_policy=args.policy,
+        shared_sim_cache=not args.per_shard_cache,
+        cross_shard_edges=not args.isolate,
+        vector_freeze_threshold=args.freeze,
+    )
+    records = generate_trace(args.trace, args.events, seed=args.seed)
+    predict = not args.no_predict
+    mode = "observe+predict" if predict else "observe"
+    single_s = replay_single(Farmer(base), records, predict=predict)
+    rows = [
+        (
+            "1 (baseline)",
+            len(records),
+            0,
+            f"{single_s:.2f}",
+            f"{len(records) / single_s:,.0f}",
+            "1.00x",
+            "-",
+        )
+    ]
+    for n_shards in (int(s) for s in args.shards.split(",") if s):
+        if n_shards == 1:
+            continue
+        cmp_ = compare_single_vs_sharded(
+            records,
+            base.with_(n_shards=n_shards),
+            predict=predict,
+            single_elapsed_s=single_s,
+        )
+        rows.append(
+            (
+                str(n_shards),
+                cmp_.n_records,
+                cmp_.n_boundary_echoes,
+                f"{cmp_.critical_path_s:.2f}",
+                f"{cmp_.aggregate_throughput:,.0f}",
+                f"{cmp_.speedup:.2f}x",
+                f"{cmp_.cache_hit_rate:.1%}",
+            )
+        )
+    print(
+        f"sharded mining service on '{args.trace}' x{args.events} "
+        f"(policy={args.policy}, cross_shard_edges={not args.isolate}, "
+        f"shared_sim_cache={not args.per_shard_cache}, "
+        f"freeze={args.freeze}, mode={mode})"
+    )
+    print(
+        format_table(
+            (
+                "shards",
+                "records",
+                "echoes",
+                "critical path s",
+                f"{mode}/s",
+                "speedup",
+                "cache hit",
+            ),
+            rows,
+        )
+    )
+    return 0
 
 
 def _add_scale_args(parser: argparse.ArgumentParser) -> None:
@@ -81,6 +202,8 @@ def main(argv: list[str] | None = None) -> int:
         print(result.render())
         print(f"\n[{exp.experiment_id} finished in {time.perf_counter() - t0:.1f}s]")
         return 0
+    if args.command == "service":
+        return _run_service(args)
     if args.command == "all":
         for exp in EXPERIMENTS.values():
             t0 = time.perf_counter()

@@ -56,10 +56,20 @@ __all__ = ["CoMiner"]
 class CoMiner:
     """Evaluates correlation degrees and maintains Correlator Lists."""
 
-    def __init__(self, config: FarmerConfig, constructor: GraphConstructor) -> None:
+    def __init__(
+        self,
+        config: FarmerConfig,
+        constructor: GraphConstructor,
+        sim_cache: SimilarityCache | None = None,
+    ) -> None:
         self.config = config
         self.constructor = constructor
-        self.sim_cache = SimilarityCache(config.sim_cache_capacity)
+        # ``sim_cache`` may be injected (a SharedSimilarityCache) so all
+        # shards of a sharded deployment reuse each other's Function-1 work
+        self.sim_cache = (
+            sim_cache if sim_cache is not None else SimilarityCache(config.sim_cache_capacity)
+        )
+        self.owns_sim_cache = sim_cache is None
         self._lists: dict[int, CorrelatorList] = {}
         self._dirty: set[int] = set()
         self._ranked_tick: dict[int, int] = {}
@@ -154,6 +164,10 @@ class CoMiner:
         """Number of lists awaiting a deferred re-rank."""
         return len(self._dirty)
 
+    def dirty_nodes(self) -> list[int]:
+        """The fids awaiting a deferred re-rank (a snapshot copy)."""
+        return list(self._dirty)
+
     def query(self, fid: int) -> CorrelatorList | None:
         """The Correlator List of ``fid``, re-ranked first if dirty.
 
@@ -212,11 +226,12 @@ class CoMiner:
 
     def approx_bytes(self) -> int:
         """Footprint of all Correlator Lists plus the similarity cache
-        and the dirty/ranked-tick bookkeeping."""
+        (only when owned — a shared cache is accounted once by its
+        owner) and the dirty/ranked-tick bookkeeping."""
         return (
             64
             + sum(104 + lst.approx_bytes() for lst in self._lists.values())
-            + self.sim_cache.approx_bytes()
+            + (self.sim_cache.approx_bytes() if self.owns_sim_cache else 0)
             + 56 * len(self._ranked_tick)
             + 32 * len(self._dirty)
         )

@@ -54,6 +54,32 @@ class FarmerConfig:
             first query of a dirty list. If False, every request re-runs
             Algorithm 1 immediately (the paper's literal per-request
             schedule; used as the equivalence reference in tests).
+        vector_freeze_threshold: if > 0, a file's semantic vector is
+            frozen (updates ignored, version stops bumping) once it has
+            changed this many times — the vector-stability heuristic. A
+            merged vector that survived N rewrites has saturated on the
+            file's sharing set, and freezing it turns almost every
+            Function-1 evaluation into a similarity-cache hit. 0 (the
+            default) disables freezing: every request can still reshape
+            the vector, the paper's literal reading.
+        n_shards: how many independent miner shards a
+            :class:`~repro.service.ShardedFarmer` partitions the fid
+            namespace across (1 = plain single-miner FARMER).
+        shard_policy: namespace partitioning policy for the service
+            router — "hash" (fid modulo, matches the HUSt cluster's MDS
+            partitioning) or "range" (contiguous fid blocks, preserves
+            directory locality).
+        shared_sim_cache: if True (default), all shards of a
+            ``ShardedFarmer`` share one thread-safe versioned similarity
+            cache (safe because shards also share the vector store, so
+            version keys are namespace-global); if False each shard
+            keeps a private cache (strict shard independence).
+        cross_shard_edges: if True (default), a request whose immediate
+            predecessor in the service-level stream lives on a different
+            shard (a *boundary request*) is observed by both owner
+            shards, so adjacent inter-shard correlations are mined
+            instead of silently dropped. False gives strict partition
+            isolation: each shard sees exactly its own substream.
     """
 
     weight_p: float = 0.7
@@ -72,6 +98,11 @@ class FarmerConfig:
     op_filter: tuple[str, ...] | None = None
     sim_cache_capacity: int = 65536
     lazy_reevaluation: bool = True
+    vector_freeze_threshold: int = 0
+    n_shards: int = 1
+    shard_policy: str = "hash"
+    shared_sim_cache: bool = True
+    cross_shard_edges: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.weight_p <= 1.0:
@@ -107,6 +138,12 @@ class FarmerConfig:
             raise ConfigError("prefetch_k must be >= 0")
         if self.sim_cache_capacity < 0:
             raise ConfigError("sim_cache_capacity must be >= 0")
+        if self.vector_freeze_threshold < 0:
+            raise ConfigError("vector_freeze_threshold must be >= 0")
+        if self.n_shards < 1:
+            raise ConfigError("n_shards must be >= 1")
+        if self.shard_policy not in ("hash", "range"):
+            raise ConfigError(f"unknown shard policy {self.shard_policy!r}")
 
     def with_(self, **changes) -> "FarmerConfig":
         """Functional update (re-validates)."""

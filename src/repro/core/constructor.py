@@ -23,7 +23,12 @@ __all__ = ["GraphConstructor"]
 class GraphConstructor:
     """Owns the graph and the semantic-vector store."""
 
-    def __init__(self, config: FarmerConfig, extractor: Extractor) -> None:
+    def __init__(
+        self,
+        config: FarmerConfig,
+        extractor: Extractor,
+        vectors: VectorStore | None = None,
+    ) -> None:
         self.config = config
         self.extractor = extractor
         self.graph = CorrelationGraph(
@@ -32,7 +37,10 @@ class GraphConstructor:
             successor_capacity=config.successor_capacity,
             weight_fn=weight_schedule(config.weight_schedule),
         )
-        self.vectors = VectorStore(config, extractor)
+        # ``vectors`` may be injected so miner shards can share one
+        # namespace-global store (what keys the shared similarity cache)
+        self.vectors = vectors if vectors is not None else VectorStore(config, extractor)
+        self.owns_vectors = vectors is None
 
     def observe(self, record: TraceRecord) -> tuple[int, list[int]]:
         """Feed one request.
@@ -43,6 +51,14 @@ class GraphConstructor:
         """
         fid = record.fid
         self.vectors.update(record)
+        touched = self.graph.observe(fid)
+        return fid, touched
+
+    def observe_graph(self, record: TraceRecord) -> tuple[int, list[int]]:
+        """Feed one request into the graph only, skipping the vector
+        update — the boundary-echo path, where the record's owner shard
+        has already folded it into the shared vector store."""
+        fid = record.fid
         touched = self.graph.observe(fid)
         return fid, touched
 
@@ -59,5 +75,9 @@ class GraphConstructor:
         return len(self.vectors)
 
     def approx_bytes(self) -> int:
-        """Graph + vector-store footprint."""
-        return self.graph.approx_bytes() + self.vectors.approx_bytes()
+        """Graph + vector-store footprint (the store only when owned —
+        a shared store is accounted once by its owner)."""
+        bytes_ = self.graph.approx_bytes()
+        if self.owns_vectors:
+            bytes_ += self.vectors.approx_bytes()
+        return bytes_

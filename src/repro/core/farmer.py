@@ -50,7 +50,9 @@ from repro.core.cominer import CoMiner
 from repro.core.config import FarmerConfig
 from repro.core.constructor import GraphConstructor
 from repro.core.extractor import Extractor
+from repro.core.simcache import SimCacheStats, SimilarityCache
 from repro.core.sorter import CorrelationSnapshot, Sorter
+from repro.core.vector_store import VectorStore
 from repro.graph.correlator_list import CorrelatorEntry
 from repro.traces.record import TraceRecord
 from repro.vsm.vocabulary import Vocabulary
@@ -69,6 +71,7 @@ class FarmerStats:
     n_entries: int
     vocabulary_size: int
     memory_bytes: int
+    sim_cache: SimCacheStats
 
     @property
     def memory_megabytes(self) -> float:
@@ -77,14 +80,31 @@ class FarmerStats:
 
 
 class Farmer:
-    """File Access coRrelation Mining and Evaluation Reference model."""
+    """File Access coRrelation Mining and Evaluation Reference model.
 
-    def __init__(self, config: FarmerConfig | None = None) -> None:
+    The keyword-only parameters inject components that a
+    :class:`~repro.service.ShardedFarmer` shares across its shards (one
+    vocabulary, one namespace-global vector store, one versioned
+    similarity cache); a stand-alone Farmer owns private instances and
+    behaves exactly as before.
+    """
+
+    def __init__(
+        self,
+        config: FarmerConfig | None = None,
+        *,
+        vocabulary: Vocabulary | None = None,
+        vector_store: VectorStore | None = None,
+        sim_cache: SimilarityCache | None = None,
+    ) -> None:
         self.config = config if config is not None else FarmerConfig()
-        self.vocabulary = Vocabulary()
+        self.vocabulary = vocabulary if vocabulary is not None else Vocabulary()
+        self.owns_vocabulary = vocabulary is None
         self.extractor = Extractor(self.config.attributes, self.vocabulary)
-        self.constructor = GraphConstructor(self.config, self.extractor)
-        self.miner = CoMiner(self.config, self.constructor)
+        self.constructor = GraphConstructor(
+            self.config, self.extractor, vectors=vector_store
+        )
+        self.miner = CoMiner(self.config, self.constructor, sim_cache=sim_cache)
         self.sorter = Sorter(self.miner)
         self._n_observed = 0
 
@@ -112,6 +132,34 @@ class Farmer:
             self.miner.reevaluate(fid)
         self._n_observed += 1
 
+    def observe_echo(self, record: TraceRecord) -> None:
+        """Observe a boundary request echoed from another shard.
+
+        Two costs of :meth:`observe` are shed. The vector update is
+        skipped outright — the record's owner shard has already folded
+        it into the shared vector store this Farmer was constructed
+        with. And under lazy re-evaluation the reinforced predecessor
+        lists are only marked dirty rather than eagerly refreshed: the
+        eager refresh exists to match the eager schedule bit-for-bit,
+        but echoed edges have no single-miner counterpart to match, and
+        the predecessors' next query re-ranks their whole list anyway.
+        """
+        if (
+            self.config.op_filter is not None
+            and record.op not in self.config.op_filter
+        ):
+            return
+        fid, touched = self.constructor.observe_graph(record)
+        if self.config.lazy_reevaluation:
+            for pred in touched:
+                self.miner.mark_dirty(pred)
+            self.miner.mark_dirty(fid)
+        else:
+            for pred in touched:
+                self.miner.reevaluate_edge(pred, fid)
+            self.miner.reevaluate(fid)
+        self._n_observed += 1
+
     def mine(self, records: Iterable[TraceRecord]) -> "Farmer":
         """Batch-mine a trace; returns self for chaining.
 
@@ -119,22 +167,51 @@ class Farmer:
         is deferred entirely during the batch and a single tick-driven
         flush at the end re-ranks every file whose graph state changed.
         """
+        return self.mine_mixed((record, False) for record in records)
+
+    def mine_mixed(
+        self, records: Iterable[tuple[TraceRecord, bool]]
+    ) -> "Farmer":
+        """Batch-mine a substream of ``(record, is_echo)`` pairs — the
+        sharded service's per-shard batch path. Echo records run the
+        graph-only schedule of :meth:`observe_echo` (their owner shard
+        maintains the shared vector store; re-updating here would
+        perturb its merge-recency and, under the "latest" policy, let
+        substream processing order override global record order).
+        """
         if not self.config.lazy_reevaluation:
-            for record in records:
-                self.observe(record)
+            for record, is_echo in records:
+                if is_echo:
+                    self.observe_echo(record)
+                else:
+                    self.observe(record)
             return self
+        self.miner.flush_nodes(sorted(self.ingest_mixed(records)))
+        return self
+
+    def ingest_mixed(
+        self, records: Iterable[tuple[TraceRecord, bool]]
+    ) -> set[int]:
+        """The ingest half of :meth:`mine_mixed`: feed graph and vectors
+        only, deferring every flush; returns the touched fids. The
+        sharded service ingests *all* shards' substreams before flushing
+        any of them, so cross-shard Correlator entries rank against the
+        fully-updated shared vector store rather than whichever prefix
+        happened to be ingested first."""
         op_filter = self.config.op_filter
         constructor = self.constructor
         changed: set[int] = set()
-        for record in records:
+        for record, is_echo in records:
             if op_filter is not None and record.op not in op_filter:
                 continue
-            fid, touched = constructor.observe(record)
+            if is_echo:
+                fid, touched = constructor.observe_graph(record)
+            else:
+                fid, touched = constructor.observe(record)
             changed.add(fid)
             changed.update(touched)
             self._n_observed += 1
-        self.miner.flush_nodes(sorted(changed))
-        return self
+        return changed
 
     # ------------------------------------------------------------------
     # queries
@@ -172,12 +249,22 @@ class Farmer:
 
     def memory_bytes(self) -> int:
         """FARMER's additional footprint: vocabulary + graph + vectors +
-        Correlator Lists (the quantity Table 4 reports)."""
+        Correlator Lists (the quantity Table 4 reports). Injected shared
+        components are accounted by their owner, not here."""
         return (
-            self.vocabulary.approx_bytes()
+            (self.vocabulary.approx_bytes() if self.owns_vocabulary else 0)
             + self.constructor.approx_bytes()
             + self.miner.approx_bytes()
         )
+
+    def sim_cache_stats(self) -> SimCacheStats:
+        """Similarity-cache counters (hit rate, Function-1 recomputes).
+
+        The supported surface for benchmarks and experiments — no need
+        to reach into ``miner.sim_cache`` internals. Note that under a
+        shared cache these counters aggregate every sharing shard.
+        """
+        return self.miner.sim_cache_stats()
 
     def stats(self) -> FarmerStats:
         """Full size/footprint summary."""
@@ -190,4 +277,5 @@ class Farmer:
             n_entries=snap.n_entries,
             vocabulary_size=len(self.vocabulary),
             memory_bytes=self.memory_bytes(),
+            sim_cache=self.sim_cache_stats(),
         )

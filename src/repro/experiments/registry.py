@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.errors import UnknownExperimentError
 from repro.experiments import ablations, extensions, fig1, fig3, fig5, fig6, fig7, fig8
-from repro.experiments import layout_experiment, table2, table3, table4
+from repro.experiments import layout_experiment, service_experiment, table2, table3, table4
 from repro.experiments.common import Experiment, ExperimentResult
 
 __all__ = ["EXPERIMENTS", "get_experiment", "run_experiment", "experiment_ids"]
@@ -27,6 +27,7 @@ EXPERIMENTS: dict[str, Experiment] = {
         layout_experiment.EXPERIMENT,
         extensions.EXPERIMENT_PREDICTORS,
         extensions.EXPERIMENT_REGRESSION,
+        service_experiment.EXPERIMENT,
     )
 }
 

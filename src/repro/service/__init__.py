@@ -1,0 +1,41 @@
+"""The sharded mining service: namespace-partitioned FARMER at scale.
+
+:class:`ShardedFarmer` splits the fid namespace across N independent
+miner shards behind a deterministic router, sharing the vocabulary, the
+vector store and (optionally) a thread-safe versioned similarity cache.
+This is the architectural seam for scaling the miner alongside the
+metadata servers: shard *i* co-locates with MDS *i* in the cluster
+simulator, and every future scaling step (async batching, multi-process
+shards, replication) plugs in behind the same façade.
+"""
+
+from repro.service.harness import (
+    ServiceComparison,
+    ShardTiming,
+    compare_single_vs_sharded,
+    replay_sharded,
+    replay_single,
+)
+from repro.service.router import (
+    HashShardRouter,
+    RangeShardRouter,
+    ShardRouter,
+    make_router,
+)
+from repro.service.sharded import ShardedFarmer
+from repro.service.stats import ServiceStats, combine_cache_stats
+
+__all__ = [
+    "ServiceComparison",
+    "ShardTiming",
+    "compare_single_vs_sharded",
+    "replay_sharded",
+    "replay_single",
+    "HashShardRouter",
+    "RangeShardRouter",
+    "ShardRouter",
+    "make_router",
+    "ShardedFarmer",
+    "ServiceStats",
+    "combine_cache_stats",
+]

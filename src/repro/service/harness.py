@@ -1,0 +1,161 @@
+"""Replay harness: single-miner vs sharded mining throughput.
+
+The simulator is single-threaded, so shard concurrency is *modeled*, not
+executed: each shard replays its substream (owned records through the
+full pipeline, boundary echoes through the echo path) and is timed
+separately. In a deployment the shards run on separate cores/processes —
+HUSt pairs one with each metadata server — so the service-level wall
+time is the slowest shard (the critical path), and
+
+    aggregate throughput = accepted records / critical path.
+
+That is the quantity the service benchmark and the ``service`` CLI
+subcommand report, next to the measured single-miner baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.config import FarmerConfig
+from repro.core.farmer import Farmer
+from repro.service.sharded import ShardedFarmer
+from repro.traces.record import TraceRecord
+
+__all__ = ["ShardTiming", "ServiceComparison", "replay_single", "replay_sharded", "compare_single_vs_sharded"]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardTiming:
+    """One shard's replay measurement."""
+
+    shard: int
+    n_records: int  # substream length: owned records + absorbed echoes
+    elapsed_s: float
+
+    @property
+    def throughput(self) -> float:
+        """Substream records per second (0.0 for an idle shard)."""
+        return self.n_records / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceComparison:
+    """Single-miner baseline vs one sharded configuration."""
+
+    n_records: int  # service-level accepted records (echoes not counted)
+    single_elapsed_s: float
+    timings: tuple[ShardTiming, ...]
+    n_boundary_echoes: int
+    cache_hit_rate: float
+    memory_bytes: int
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.timings)
+
+    @property
+    def critical_path_s(self) -> float:
+        """Modeled service wall time: the slowest shard's replay."""
+        return max(t.elapsed_s for t in self.timings)
+
+    @property
+    def single_throughput(self) -> float:
+        """Baseline requests per second."""
+        if self.single_elapsed_s <= 0:
+            return 0.0
+        return self.n_records / self.single_elapsed_s
+
+    @property
+    def aggregate_throughput(self) -> float:
+        """Modeled service requests per second (shards in parallel)."""
+        crit = self.critical_path_s
+        return self.n_records / crit if crit > 0 else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Aggregate over baseline throughput."""
+        single = self.single_throughput
+        return self.aggregate_throughput / single if single > 0 else 0.0
+
+
+def replay_single(
+    farmer: Farmer, records: Sequence[TraceRecord], predict: bool = True
+) -> float:
+    """Drive a stand-alone Farmer (observe, optionally the FPA predict
+    per request, and the final flush); returns elapsed seconds."""
+    start = time.perf_counter()
+    for record in records:
+        farmer.observe(record)
+        if predict:
+            farmer.predict(record.fid)
+    farmer.snapshot()
+    return time.perf_counter() - start
+
+
+def replay_sharded(
+    service: ShardedFarmer, records: Sequence[TraceRecord], predict: bool = True
+) -> tuple[ShardTiming, ...]:
+    """Replay each shard's substream separately, timing per shard.
+
+    Owned records run the full pipeline (plus the FPA predict when
+    ``predict``); boundary echoes run the echo path, exactly as the live
+    ``ShardedFarmer.observe`` schedule would. Each shard ends with its
+    owned-list flush, so deferred re-rank work is inside the timing.
+    The service's stream accounting (``n_observed`` / boundary echoes /
+    the boundary-detection seed) is kept consistent, so ``stats()``
+    after a replay reports the same totals a live ``observe`` loop
+    would.
+    """
+    # intra-package use of the service's substream rule and counters:
+    # the harness replays *for* the service, it is not a foreign caller
+    subs, accepted, prev = service._partition(records, service._prev_owner)
+    timings = []
+    for index, (shard, sub) in enumerate(zip(service.shards, subs)):
+        start = time.perf_counter()
+        for record, is_echo in sub:
+            if is_echo:
+                shard.observe_echo(record)
+            else:
+                shard.observe(record)
+                if predict:
+                    shard.predict(record.fid)
+        service.flush_shard(index)
+        timings.append(
+            ShardTiming(
+                shard=index,
+                n_records=len(sub),
+                elapsed_s=time.perf_counter() - start,
+            )
+        )
+    service._n_observed += accepted
+    service._n_boundary_echoes += sum(len(s) for s in subs) - accepted
+    service._prev_owner = prev
+    return tuple(timings)
+
+
+def compare_single_vs_sharded(
+    records: Sequence[TraceRecord],
+    config: FarmerConfig,
+    predict: bool = True,
+    single_elapsed_s: float | None = None,
+) -> ServiceComparison:
+    """Measure one sharded configuration against the single-miner
+    baseline (pass ``single_elapsed_s`` to reuse a measured baseline
+    across several shard counts)."""
+    if single_elapsed_s is None:
+        single_elapsed_s = replay_single(
+            Farmer(config.with_(n_shards=1)), records, predict=predict
+        )
+    service = ShardedFarmer(config)
+    timings = replay_sharded(service, records, predict=predict)
+    return ServiceComparison(
+        n_records=service.n_observed,
+        single_elapsed_s=single_elapsed_s,
+        timings=timings,
+        n_boundary_echoes=service.n_boundary_echoes,
+        cache_hit_rate=service.sim_cache_stats().hit_rate,
+        memory_bytes=service.memory_bytes(),
+    )

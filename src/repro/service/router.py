@@ -1,0 +1,105 @@
+"""Deterministic fid → shard routing for the sharded mining service.
+
+A router is a pure function of the fid (no state, no RNG), so any
+component — the service, the cluster wiring, a benchmark partitioning a
+trace, or a future remote client — computes the same owner for the same
+file. Two policies ship:
+
+* :class:`HashShardRouter` — ``fid % n_shards``, the same modulo
+  partitioning HUSt applies to its metadata servers, so pairing shard
+  *i* with MDS *i* co-locates each miner with the server that receives
+  its files' requests;
+* :class:`RangeShardRouter` — contiguous fid blocks, preserving
+  namespace locality (files allocated together mine together). Either
+  striped fixed-size blocks (the default, needs no knowledge of the fid
+  space) or explicit split points for hand-tuned partitions.
+
+:func:`make_router` builds a router from the ``FarmerConfig`` knobs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ConfigError
+
+__all__ = ["ShardRouter", "HashShardRouter", "RangeShardRouter", "make_router"]
+
+
+@runtime_checkable
+class ShardRouter(Protocol):
+    """Structural protocol: a deterministic total map fid → shard index."""
+
+    n_shards: int
+
+    def route(self, fid: int) -> int:
+        """Owning shard of ``fid`` (always in ``range(n_shards)``)."""
+        ...  # pragma: no cover - protocol stub
+
+
+class HashShardRouter:
+    """Modulo partitioning — uniform load, no locality."""
+
+    __slots__ = ("n_shards",)
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ConfigError("n_shards must be >= 1")
+        self.n_shards = n_shards
+
+    def route(self, fid: int) -> int:
+        """``fid % n_shards`` (matches the HUSt cluster's MDS routing)."""
+        return fid % self.n_shards
+
+
+class RangeShardRouter:
+    """Contiguous-block partitioning — locality over uniformity.
+
+    Without ``boundaries`` the fid space is striped in fixed-size blocks
+    (``block_size`` consecutive fids per block, blocks dealt round-robin
+    to shards), which keeps neighbouring files together while still
+    spreading load without knowing the fid population. With explicit
+    ``boundaries`` (a sorted tuple of ``n_shards - 1`` split points),
+    shard ``i`` owns the fids up to and including ``boundaries[i]``.
+    """
+
+    __slots__ = ("n_shards", "block_size", "boundaries")
+
+    def __init__(
+        self,
+        n_shards: int,
+        block_size: int = 1024,
+        boundaries: tuple[int, ...] | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ConfigError("n_shards must be >= 1")
+        if block_size < 1:
+            raise ConfigError("block_size must be >= 1")
+        if boundaries is not None:
+            if len(boundaries) != n_shards - 1:
+                raise ConfigError(
+                    f"range router needs {n_shards - 1} boundaries, "
+                    f"got {len(boundaries)}"
+                )
+            if list(boundaries) != sorted(boundaries):
+                raise ConfigError("range boundaries must be sorted ascending")
+            boundaries = tuple(boundaries)
+        self.n_shards = n_shards
+        self.block_size = block_size
+        self.boundaries = boundaries
+
+    def route(self, fid: int) -> int:
+        """Owning shard by explicit split points or striped blocks."""
+        if self.boundaries is not None:
+            return bisect_left(self.boundaries, fid)
+        return (fid // self.block_size) % self.n_shards
+
+
+def make_router(policy: str, n_shards: int) -> ShardRouter:
+    """Router for a ``FarmerConfig.shard_policy`` value."""
+    if policy == "hash":
+        return HashShardRouter(n_shards)
+    if policy == "range":
+        return RangeShardRouter(n_shards)
+    raise ConfigError(f"unknown shard policy {policy!r}")

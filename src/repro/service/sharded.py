@@ -1,0 +1,325 @@
+"""The sharded FARMER mining service.
+
+The paper's HUSt deployment hash-partitions metadata across metadata
+servers, but a single :class:`~repro.core.farmer.Farmer` still funnels
+every server through one miner. :class:`ShardedFarmer` removes that
+serial bottleneck: it partitions the fid namespace across ``n_shards``
+independent Farmer shards behind a deterministic
+:mod:`~repro.service.router`, so each shard mines only its own files and
+N shards can run concurrently (one per metadata server in the cluster
+simulator, one per process in a real deployment).
+
+Shared state — and why sharing is safe
+--------------------------------------
+
+Three components are deliberately *not* sharded:
+
+* the **vocabulary** (interned attribute tokens) — ids must agree across
+  shards for vectors to be comparable;
+* the **vector store** — a file's semantic vector is a property of the
+  namespace, not of a partition, so one store holds the truth and its
+  monotonic versions are global;
+* the **similarity cache** (``shared_sim_cache=True``, the default) — a
+  thread-safe :class:`~repro.core.simcache.SharedSimilarityCache` whose
+  entries are keyed on vector versions. Because versions come from the
+  single shared store, an entry written by one shard is exact for every
+  other shard; a shard whose endpoint moved on simply misses. Stale
+  values are unservable by construction, which is what makes cross-shard
+  reuse of Function-1 work safe without invalidation traffic.
+
+Cross-shard edges (``cross_shard_edges``)
+-----------------------------------------
+
+Partitioning the stream would silently drop correlations that straddle a
+shard boundary. When the immediate predecessor of a request was routed
+to a different shard (a *boundary request*), the request is observed by
+**both** owner shards: its own (the full pipeline) and the
+predecessor's, whose sliding window still holds the preceding files, so
+the ``pred → fid`` edges are mined where ``pred``'s Correlator List
+lives. Scope: adjacent (distance-1) cross-shard pairs are always
+captured; deeper window pairs are captured only when the predecessor's
+shard also observed the intervening requests, and the predecessor
+shard's window distances are compressed (it never saw the skipped
+foreign requests), so LDA weights on echoed edges are upper bounds.
+Set ``cross_shard_edges=False`` for strict partition isolation — each
+shard then sees exactly its routed substream, and the service is
+bit-for-bit a set of independent per-shard Farmers.
+
+Equivalence scope: with ``n_shards=1`` every entry point is bit-for-bit
+identical to a plain Farmer (property-tested on a 20k-record trace).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.config import FarmerConfig
+from repro.core.extractor import Extractor
+from repro.core.farmer import Farmer
+from repro.core.simcache import SharedSimilarityCache, SimCacheStats
+from repro.core.sorter import CorrelationSnapshot
+from repro.core.vector_store import VectorStore
+from repro.errors import ConfigError
+from repro.graph.correlator_list import CorrelatorEntry
+from repro.service.router import ShardRouter, make_router
+from repro.service.stats import ServiceStats, combine_cache_stats
+from repro.traces.record import TraceRecord
+from repro.vsm.vocabulary import Vocabulary
+
+__all__ = ["ShardedFarmer"]
+
+
+class ShardedFarmer:
+    """N namespace-partitioned Farmer shards behind one façade.
+
+    Drop-in for :class:`Farmer` in every consumer that goes through the
+    public entry points (``observe`` / ``mine`` / ``predict`` /
+    ``correlators`` / ``snapshot`` / ``memory_bytes``); ``stats()``
+    returns the richer :class:`~repro.service.stats.ServiceStats`.
+    """
+
+    def __init__(
+        self, config: FarmerConfig | None = None, router: ShardRouter | None = None
+    ) -> None:
+        self.config = config if config is not None else FarmerConfig()
+        n = self.config.n_shards
+        if router is None:
+            router = make_router(self.config.shard_policy, n)
+        elif router.n_shards != n:
+            raise ConfigError(
+                f"router has {router.n_shards} shards, config wants {n}"
+            )
+        self.router = router
+        self.vocabulary = Vocabulary()
+        self.extractor = Extractor(self.config.attributes, self.vocabulary)
+        self.vector_store = VectorStore(self.config, self.extractor)
+        self.sim_cache = (
+            SharedSimilarityCache(self.config.sim_cache_capacity)
+            if self.config.shared_sim_cache
+            else None
+        )
+        self.shards: tuple[Farmer, ...] = tuple(
+            Farmer(
+                self.config,
+                vocabulary=self.vocabulary,
+                vector_store=self.vector_store,
+                sim_cache=self.sim_cache,
+            )
+            for _ in range(n)
+        )
+        self._prev_owner: int | None = None
+        self._n_observed = 0
+        self._n_boundary_echoes = 0
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def shard_of(self, fid: int) -> int:
+        """Owning shard index of ``fid``."""
+        return self.router.route(fid)
+
+    def shard_for(self, fid: int) -> Farmer:
+        """Owning shard of ``fid`` (queries go to the owner only)."""
+        return self.shards[self.router.route(fid)]
+
+    # ------------------------------------------------------------------
+    # mining
+    # ------------------------------------------------------------------
+
+    def observe(self, record: TraceRecord) -> None:
+        """Route one request to its owner shard (and, for a boundary
+        request under ``cross_shard_edges``, echo it to the predecessor's
+        shard so the inter-shard edge is mined)."""
+        if (
+            self.config.op_filter is not None
+            and record.op not in self.config.op_filter
+        ):
+            return
+        owner = self.router.route(record.fid)
+        self.shards[owner].observe(record)
+        prev = self._prev_owner
+        if self.config.cross_shard_edges and prev is not None and prev != owner:
+            # the owner just folded the record into the shared vector
+            # store, so the echo pays only graph/list work on prev
+            self.shards[prev].observe_echo(record)
+            self._n_boundary_echoes += 1
+        self._prev_owner = owner
+        self._n_observed += 1
+
+    def _partition(
+        self, records: Iterable[TraceRecord], prev: int | None
+    ) -> tuple[list[list[tuple[TraceRecord, bool]]], int, int | None]:
+        """The one place the owner/echo substream rule lives.
+
+        Returns ``(subs, n_accepted, last_owner)`` where ``subs[i]`` is
+        shard *i*'s substream of ``(record, is_echo)`` pairs: the
+        records it owns plus, under ``cross_shard_edges``, the boundary
+        requests echoed to it. ``prev`` seeds the boundary detection
+        (pass the live ``_prev_owner`` to continue a stream, ``None``
+        for a standalone split).
+        """
+        subs: list[list[tuple[TraceRecord, bool]]] = [
+            [] for _ in range(self.config.n_shards)
+        ]
+        op_filter = self.config.op_filter
+        cross = self.config.cross_shard_edges
+        route = self.router.route
+        accepted = 0
+        for record in records:
+            if op_filter is not None and record.op not in op_filter:
+                continue
+            owner = route(record.fid)
+            subs[owner].append((record, False))
+            if cross and prev is not None and prev != owner:
+                subs[prev].append((record, True))
+            prev = owner
+            accepted += 1
+        return subs, accepted, prev
+
+    def partition(
+        self, records: Iterable[TraceRecord]
+    ) -> list[list[tuple[TraceRecord, bool]]]:
+        """Split a trace into the per-shard ``(record, is_echo)``
+        substreams ``observe`` would feed each shard.
+
+        This is the replay surface for per-shard concurrency (the
+        service benchmark drives one substream per modeled worker).
+        Under strict isolation a shard replaying its substream is
+        bit-identical to the global ``observe`` schedule; with echoes
+        enabled the substreams interleave shared-vector updates in a
+        different order, so eagerly-refreshed edge degrees can differ
+        transiently until the next query re-ranks the list.
+        """
+        return self._partition(records, None)[0]
+
+    def mine(self, records: Sequence[TraceRecord]) -> "ShardedFarmer":
+        """Batch-mine a trace shard by shard; returns self for chaining.
+
+        Two phases: every shard first ingests its substream (graph and
+        vector work only), then every shard runs its tick-driven flush.
+        The barrier matters because echoed successors live on *other*
+        shards: flushing shard by shard would rank them against whatever
+        vector prefix happened to be ingested, while the barrier ranks
+        everything against the end-of-batch state — the same guarantee
+        ``Farmer.mine`` gives a single miner.
+        """
+        subs, accepted, prev = self._partition(records, self._prev_owner)
+        self._n_observed += accepted
+        self._n_boundary_echoes += sum(len(s) for s in subs) - accepted
+        self._prev_owner = prev
+        if not self.config.lazy_reevaluation:
+            for shard, sub in zip(self.shards, subs):
+                if sub:
+                    shard.mine_mixed(sub)
+            return self
+        changed = [shard.ingest_mixed(sub) for shard, sub in zip(self.shards, subs)]
+        for shard, touched in zip(self.shards, changed):
+            if touched:
+                shard.miner.flush_nodes(sorted(touched))
+        return self
+
+    # ------------------------------------------------------------------
+    # queries (route to the owner shard)
+    # ------------------------------------------------------------------
+
+    def correlators(self, fid: int) -> list[CorrelatorEntry]:
+        """Valid correlates of ``fid`` from its owner shard."""
+        return self.shard_for(fid).correlators(fid)
+
+    def predict(self, fid: int, k: int | None = None) -> list[int]:
+        """Prefetch candidates for ``fid`` from its owner shard."""
+        return self.shard_for(fid).predict(fid, k)
+
+    def correlation_degree(self, src: int, dst: int) -> float:
+        """``R(src, dst)`` as evaluated by ``src``'s owner shard."""
+        return self.shard_for(src).correlation_degree(src, dst)
+
+    def semantic_distance(self, src: int, dst: int) -> float:
+        """``sim(src, dst)`` (vectors are shared, so any shard agrees)."""
+        return self.shard_for(src).semantic_distance(src, dst)
+
+    def access_frequency(self, src: int, dst: int) -> float:
+        """``F(src, dst)`` from ``src``'s owner shard."""
+        return self.shard_for(src).access_frequency(src, dst)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    def flush_shard(self, index: int) -> None:
+        """Re-rank shard ``index``'s *owned* dirty lists. Halo lists
+        (foreign fids left dirty by boundary echoes) stay lazy — queries
+        route to the owner shard, so ranking them is work nobody reads.
+        """
+        shard = self.shards[index]
+        route = self.router.route
+        shard.miner.flush_nodes(
+            fid for fid in shard.miner.dirty_nodes() if route(fid) == index
+        )
+
+    def snapshot(self) -> CorrelationSnapshot:
+        """Aggregate Correlator-List statistics over *owned* lists.
+
+        A boundary file can hold a partial list on a neighbour shard
+        (the echo's by-product); only the owner shard's authoritative
+        list is counted, so ``n_shards=1`` matches ``Farmer.snapshot``
+        exactly and multi-shard numbers are not inflated by halo state.
+        """
+        route = self.router.route
+        lengths: list[int] = []
+        tops: list[float] = []
+        for index, shard in enumerate(self.shards):
+            self.flush_shard(index)
+            for fid, lst in shard.miner.lists().items():
+                if len(lst) > 0 and route(fid) == index:
+                    lengths.append(len(lst))
+                    tops.append(lst.top(1)[0].degree)
+        if not lengths:
+            return CorrelationSnapshot(0, 0, 0.0, 0, 0.0)
+        return CorrelationSnapshot(
+            n_lists=len(lengths),
+            n_entries=sum(lengths),
+            mean_length=sum(lengths) / len(lengths),
+            max_length=max(lengths),
+            mean_top_degree=sum(tops) / len(tops),
+        )
+
+    def sim_cache_stats(self) -> SimCacheStats:
+        """Service-level similarity-cache counters (shared cache's, or
+        the per-shard caches summed)."""
+        if self.sim_cache is not None:
+            return self.sim_cache.stats()
+        return combine_cache_stats(
+            [shard.sim_cache_stats() for shard in self.shards]
+        )
+
+    def memory_bytes(self) -> int:
+        """Total footprint; shared components are counted exactly once."""
+        total = self.vocabulary.approx_bytes() + self.vector_store.approx_bytes()
+        if self.sim_cache is not None:
+            total += self.sim_cache.approx_bytes()
+        # shards skip the injected (non-owned) components themselves
+        total += sum(shard.memory_bytes() for shard in self.shards)
+        return total
+
+    @property
+    def n_observed(self) -> int:
+        """Requests the service accepted (echoes not double-counted)."""
+        return self._n_observed
+
+    @property
+    def n_boundary_echoes(self) -> int:
+        """Boundary requests echoed to the predecessor's shard."""
+        return self._n_boundary_echoes
+
+    def stats(self) -> ServiceStats:
+        """Aggregated per-shard stats, cache counters and memory."""
+        return ServiceStats(
+            n_shards=self.config.n_shards,
+            n_observed=self._n_observed,
+            n_boundary_echoes=self._n_boundary_echoes,
+            shards=tuple(shard.stats() for shard in self.shards),
+            sim_cache=self.sim_cache_stats(),
+            memory_bytes=self.memory_bytes(),
+        )

@@ -1,0 +1,97 @@
+"""Aggregated accounting for the sharded mining service.
+
+One report rolls the per-shard :class:`~repro.core.farmer.FarmerStats`
+and similarity-cache counters into service-level totals, so experiments
+and benchmarks read a single object instead of poking N shards (and the
+shared vector store / vocabulary / cache are counted exactly once in the
+memory total, not once per shard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.farmer import FarmerStats
+from repro.core.simcache import SimCacheStats
+
+__all__ = ["ServiceStats", "combine_cache_stats"]
+
+
+def combine_cache_stats(stats: list[SimCacheStats]) -> SimCacheStats:
+    """Sum similarity-cache counters across caches.
+
+    With a shared cache every shard reports the same counters — pass the
+    single shared snapshot. With per-shard caches, pass one snapshot per
+    shard and the hit rate of the sum is the service-level rate.
+    """
+    if not stats:
+        return SimCacheStats(
+            hits=0, misses=0, stale=0, evictions=0, size=0, capacity=0
+        )
+    if len(stats) == 1:
+        return stats[0]
+    return SimCacheStats(
+        hits=sum(s.hits for s in stats),
+        misses=sum(s.misses for s in stats),
+        stale=sum(s.stale for s in stats),
+        evictions=sum(s.evictions for s in stats),
+        size=sum(s.size for s in stats),
+        capacity=sum(s.capacity for s in stats),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceStats:
+    """Service-level rollup of a :class:`~repro.service.ShardedFarmer`.
+
+    Attributes:
+        n_shards: number of miner shards.
+        n_observed: requests the *service* accepted (each counted once,
+            even when a boundary request was echoed to a second shard).
+        n_boundary_echoes: boundary requests additionally observed by
+            the predecessor's shard (0 under strict partition isolation
+            or when every adjacent pair was shard-local).
+        shards: per-shard :class:`FarmerStats`; a shard's ``n_observed``
+            includes the echoes it absorbed, so their sum can exceed the
+            service total.
+        sim_cache: service-level similarity-cache counters (the shared
+            cache's, or the per-shard caches summed).
+        memory_bytes: total footprint with shared components (vocabulary,
+            vector store, shared cache) counted exactly once.
+    """
+
+    n_shards: int
+    n_observed: int
+    n_boundary_echoes: int
+    shards: tuple[FarmerStats, ...]
+    sim_cache: SimCacheStats
+    memory_bytes: int
+
+    @property
+    def memory_megabytes(self) -> float:
+        """Footprint in MB (10^6 bytes, as Table 4 reports)."""
+        return self.memory_bytes / 1e6
+
+    @property
+    def n_files(self) -> int:
+        """Graph nodes summed over shards (boundary files, present on
+        two shards, count twice — the real resident state)."""
+        return sum(s.n_files for s in self.shards)
+
+    @property
+    def n_edges(self) -> int:
+        """Directed graph edges summed over shards."""
+        return sum(s.n_edges for s in self.shards)
+
+    @property
+    def n_lists(self) -> int:
+        """Correlator Lists summed over shards (includes the partial
+        halo lists boundary echoes leave on neighbour shards — resident
+        state, not the owner-filtered view ``snapshot()`` reports)."""
+        return sum(s.n_lists for s in self.shards)
+
+    @property
+    def n_entries(self) -> int:
+        """Correlator-List entries summed over shards (same scope as
+        ``n_lists``)."""
+        return sum(s.n_entries for s in self.shards)

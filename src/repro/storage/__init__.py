@@ -14,9 +14,11 @@ from repro.storage.metrics import MetricsCollector, SimulationReport
 from repro.storage.osd import Extent, ObjectStorageDevice, ReadCost
 from repro.storage.prefetch import (
     FarmerPrefetcher,
+    MdsShardView,
     NoPrefetcher,
     PredictorPrefetcher,
     PrefetchEngine,
+    ShardedFarmerPrefetcher,
 )
 from repro.storage.queues import DualRequestQueue
 from repro.storage.requests import MetadataRequest, RequestKind
@@ -38,9 +40,11 @@ __all__ = [
     "ObjectStorageDevice",
     "ReadCost",
     "FarmerPrefetcher",
+    "MdsShardView",
     "NoPrefetcher",
     "PredictorPrefetcher",
     "PrefetchEngine",
+    "ShardedFarmerPrefetcher",
     "DualRequestQueue",
     "MetadataRequest",
     "RequestKind",

@@ -4,9 +4,13 @@
 give it a trace and a prefetch engine, get back a
 :class:`~repro.storage.metrics.SimulationReport`. Multiple MDSes are
 supported via fid hash partitioning (the paper's first answer to the
-metadata bottleneck); each owns its cache, queues and store shard, while
-the prefetch engine (the mining & evaluating utility) is shared, as in
-HUSt's architecture (Figure 4).
+metadata bottleneck); each owns its cache, queues and store shard. The
+prefetch engine is shared by default, as in HUSt's architecture
+(Figure 4) — but an engine that offers per-shard views (the
+:class:`~repro.storage.prefetch.ShardedFarmerPrefetcher`) is split so
+each MDS drives its co-located miner shard instead of the single global
+engine, and its prefetch candidates are filtered to the fids that MDS
+actually stores.
 """
 
 from __future__ import annotations
@@ -78,7 +82,7 @@ class HustCluster:
             MetadataServer(
                 engine=self.engine,
                 kvstore=BTreeKVStore(),
-                prefetcher=prefetcher,
+                prefetcher=self._engine_for(i),
                 metrics=self.metrics,
                 latency=config.latency,
                 cache_capacity=config.cache_capacity,
@@ -88,6 +92,15 @@ class HustCluster:
             )
             for i in range(config.n_mds)
         ]
+
+    def _engine_for(self, server_index: int) -> PrefetchEngine:
+        """The prefetch engine MDS ``server_index`` drives: a per-shard
+        view when the engine offers one and the cluster is partitioned,
+        else the shared global engine."""
+        view_factory = getattr(self.prefetcher, "shard_view", None)
+        if self.config.n_mds > 1 and callable(view_factory):
+            return view_factory(server_index, self.config.n_mds)
+        return self.prefetcher
 
     def route(self, fid: int) -> MetadataServer:
         """Owning MDS of a fid (hash partitioning)."""

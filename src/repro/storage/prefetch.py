@@ -11,6 +11,12 @@ three systems:
   baselines), with a fixed aggressive group size and no filtering;
 * :class:`NoPrefetcher` — the LRU comparator.
 
+:class:`ShardedFarmerPrefetcher` runs the sharded mining service as the
+FPA policy; its :meth:`~ShardedFarmerPrefetcher.shard_view` hands each
+metadata server a per-shard engine, so an ``n_mds > 1`` cluster pairs
+every MDS with its co-located miner shard instead of funnelling all
+servers through one global engine.
+
 ``overhead_ns`` is the per-request mining cost charged to the server, so
 FARMER's "reasonable overhead" is part of the measured response times
 rather than assumed away.
@@ -22,6 +28,7 @@ from typing import Protocol, runtime_checkable
 
 from repro.baselines.base import Predictor
 from repro.core.farmer import Farmer
+from repro.service.sharded import ShardedFarmer
 from repro.traces.record import TraceRecord
 
 __all__ = [
@@ -29,6 +36,8 @@ __all__ = [
     "NoPrefetcher",
     "FarmerPrefetcher",
     "PredictorPrefetcher",
+    "ShardedFarmerPrefetcher",
+    "MdsShardView",
 ]
 
 
@@ -86,6 +95,80 @@ class FarmerPrefetcher:
     def memory_bytes(self) -> int:
         """FARMER's mining-state footprint."""
         return self.farmer.memory_bytes()
+
+
+class ShardedFarmerPrefetcher:
+    """FPA on the sharded mining service.
+
+    As a plain engine it behaves like :class:`FarmerPrefetcher` with the
+    routing hidden inside the service. In an ``n_mds > 1`` cluster, the
+    wiring calls :meth:`shard_view` to give every MDS its own engine
+    view: observations still flow through the service (which keeps the
+    global boundary-echo state consistent), but each view filters the
+    prefetch candidates down to the fids its own server stores — a
+    cross-shard candidate would only be queued locally, miss the local
+    KV shard and be dropped, so the view spends its prefetch budget on
+    actionable fids only.
+    """
+
+    def __init__(self, service: ShardedFarmer, overhead_ns: int = 8_000) -> None:
+        self.service = service
+        self.overhead_ns = overhead_ns
+
+    def observe(self, record: TraceRecord) -> None:
+        """Route the request through the service (owner + boundary echo)."""
+        self.service.observe(record)
+
+    def candidates(self, record: TraceRecord) -> list[int]:
+        """Owner shard's Correlator-List head for the requested file."""
+        return self.service.predict(record.fid)
+
+    def memory_bytes(self) -> int:
+        """Whole-service footprint (shared components counted once)."""
+        return self.service.memory_bytes()
+
+    def shard_view(self, server_index: int, n_servers: int) -> "MdsShardView":
+        """Per-server engine view for MDS ``server_index`` of ``n_servers``."""
+        return MdsShardView(self, server_index, n_servers)
+
+
+class MdsShardView:
+    """One metadata server's view of the sharded mining service."""
+
+    __slots__ = ("parent", "server_index", "n_servers", "overhead_ns")
+
+    def __init__(
+        self, parent: ShardedFarmerPrefetcher, server_index: int, n_servers: int
+    ) -> None:
+        if not 0 <= server_index < n_servers:
+            raise ValueError("server_index must be in range(n_servers)")
+        self.parent = parent
+        self.server_index = server_index
+        self.n_servers = n_servers
+        self.overhead_ns = parent.overhead_ns
+
+    def observe(self, record: TraceRecord) -> None:
+        """Feed the service (global echo state lives in one place)."""
+        self.parent.service.observe(record)
+
+    def candidates(self, record: TraceRecord) -> list[int]:
+        """Service predictions restricted to fids this MDS stores
+        (the cluster routes metadata by ``fid % n_mds``)."""
+        return [
+            fid
+            for fid in self.parent.service.predict(record.fid)
+            if fid % self.n_servers == self.server_index
+        ]
+
+    def memory_bytes(self) -> int:
+        """This server's share of the service footprint (the whole
+        service is reported once by the parent; views split it evenly so
+        per-server accounting still sums to the total)."""
+        total = self.parent.service.memory_bytes()
+        share = total // self.n_servers
+        if self.server_index == 0:
+            share += total % self.n_servers
+        return share
 
 
 class PredictorPrefetcher:

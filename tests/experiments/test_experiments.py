@@ -6,7 +6,14 @@ import math
 import pytest
 
 from repro.experiments import fig1, fig3, fig5, fig6, fig7, fig8
-from repro.experiments import ablations, layout_experiment, table2, table3, table4
+from repro.experiments import (
+    ablations,
+    layout_experiment,
+    service_experiment,
+    table2,
+    table3,
+    table4,
+)
 
 SMALL = {"n_events": 2500, "seeds": (1, 2)}
 
@@ -157,3 +164,17 @@ class TestLayout:
         result = layout_experiment.run(n_events=2500, seeds=(1,))
         assert result.data["seek_ratio"] < 1.0
         assert result.data["latency_ratio"] < 1.0
+
+
+class TestServiceExperiment:
+    def test_sharded_prefetch_economy(self):
+        """Co-located shards issue far fewer prefetches than the global
+        engine at a comparable hit ratio, at every partitioned scale."""
+        result = service_experiment.run(n_events=2500, seeds=(1,))
+        for n_mds in (2, 4):
+            sharded = result.data[f"sharded@{n_mds}"]
+            global_ = result.data[f"global@{n_mds}"]
+            assert sharded["issued"] < global_["issued"]
+            assert sharded["hit_ratio"] >= global_["hit_ratio"] - 0.02
+        assert "global@1" in result.data
+        assert result.render()

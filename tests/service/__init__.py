@@ -1,0 +1,1 @@
+"""Tests of the sharded mining service (`repro.service`)."""

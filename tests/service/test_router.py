@@ -1,0 +1,86 @@
+"""Router determinism, coverage and validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service.router import (
+    HashShardRouter,
+    RangeShardRouter,
+    ShardRouter,
+    make_router,
+)
+
+
+class TestHashRouter:
+    def test_matches_cluster_partitioning(self):
+        router = HashShardRouter(4)
+        for fid in range(100):
+            assert router.route(fid) == fid % 4
+
+    def test_total_and_in_range(self):
+        router = HashShardRouter(3)
+        assert {router.route(fid) for fid in range(1000)} == {0, 1, 2}
+
+    def test_deterministic(self):
+        a, b = HashShardRouter(5), HashShardRouter(5)
+        assert all(a.route(f) == b.route(f) for f in range(500))
+
+    def test_single_shard(self):
+        router = HashShardRouter(1)
+        assert all(router.route(f) == 0 for f in range(100))
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ConfigError):
+            HashShardRouter(0)
+
+
+class TestRangeRouter:
+    def test_striped_blocks(self):
+        router = RangeShardRouter(2, block_size=10)
+        assert router.route(0) == 0
+        assert router.route(9) == 0
+        assert router.route(10) == 1
+        assert router.route(19) == 1
+        assert router.route(20) == 0  # blocks dealt round-robin
+
+    def test_explicit_boundaries(self):
+        router = RangeShardRouter(3, boundaries=(100, 200))
+        assert router.route(0) == 0
+        assert router.route(100) == 0
+        assert router.route(101) == 1
+        assert router.route(200) == 1
+        assert router.route(201) == 2
+        assert router.route(10**9) == 2
+
+    def test_boundary_count_validated(self):
+        with pytest.raises(ConfigError):
+            RangeShardRouter(3, boundaries=(100,))
+
+    def test_boundaries_must_be_sorted(self):
+        with pytest.raises(ConfigError):
+            RangeShardRouter(3, boundaries=(200, 100))
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ConfigError):
+            RangeShardRouter(2, block_size=0)
+
+    def test_locality(self):
+        """Neighbouring fids land on the same shard within a block."""
+        router = RangeShardRouter(4, block_size=64)
+        for start in (0, 64, 640):
+            owners = {router.route(start + i) for i in range(64)}
+            assert len(owners) == 1
+
+
+class TestMakeRouter:
+    def test_policies(self):
+        assert isinstance(make_router("hash", 4), HashShardRouter)
+        assert isinstance(make_router("range", 4), RangeShardRouter)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            make_router("consistent", 4)
+
+    def test_protocol_conformance(self):
+        assert isinstance(make_router("hash", 2), ShardRouter)
+        assert isinstance(make_router("range", 2), ShardRouter)
