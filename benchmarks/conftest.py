@@ -1,6 +1,22 @@
-"""Benchmark fixtures: shared traces so generation cost isn't re-paid."""
+"""Benchmark fixtures: shared traces so generation cost isn't re-paid,
+plus machine-readable result emission.
+
+Every benchmark can record named metrics through the ``bench_record``
+fixture; at session end the collected metrics are written as one JSON
+file per benchmark module (``bench_core`` → ``BENCH_core.json``), so the
+perf trajectory is diffable across PRs instead of living in captured
+stdout. Emission is enabled by ``--json [DIR]`` or the ``BENCH_JSON``
+environment variable (its value is the output directory; ``1``/empty
+means the current directory).
+"""
 
 from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
 
 import pytest
 
@@ -8,6 +24,75 @@ from repro.traces.synthetic import generate_trace
 
 BENCH_EVENTS = 2500
 BENCH_SEEDS = (1,)
+
+_RESULTS: dict[str, dict[str, dict]] = {}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store",
+        nargs="?",
+        const=".",
+        default=None,
+        metavar="DIR",
+        help="write BENCH_<module>.json files with recorded metrics",
+    )
+
+
+def _json_dir(config) -> Path | None:
+    opt = config.getoption("--json", default=None)
+    if opt is not None:
+        return Path(opt)
+    env = os.environ.get("BENCH_JSON")
+    if env is not None:
+        return Path(".") if env in ("", "1") else Path(env)
+    return None
+
+
+def pytest_sessionfinish(session, exitstatus):
+    out_dir = _json_dir(session.config)
+    if out_dir is None or not _RESULTS:
+        return
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for module, results in sorted(_RESULTS.items()):
+        name = module.removeprefix("bench_")
+        path = out_dir / f"BENCH_{name}.json"
+        # merge with an existing file so several pytest sessions (the CI
+        # smoke steps run one per selection) accumulate into one
+        # artifact instead of the last session overwriting the rest
+        merged = dict(results)
+        if path.exists():
+            try:
+                previous = json.loads(path.read_text()).get("results", {})
+            except (OSError, ValueError):
+                previous = {}
+            merged = {**previous, **results}
+        payload = {
+            "module": module,
+            "created_unix": int(time.time()),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "bench_events": BENCH_EVENTS,
+            "results": merged,
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"[bench json: {path}]")
+
+
+@pytest.fixture
+def bench_record(request):
+    """Record named metrics for the current benchmark: call
+    ``bench_record(metric=value, ...)`` any number of times; entries
+    land in the module's BENCH_*.json under the test's node name."""
+    module = request.module.__name__
+
+    def record(**metrics):
+        _RESULTS.setdefault(module, {}).setdefault(
+            request.node.name, {}
+        ).update(metrics)
+
+    return record
 
 
 @pytest.fixture(scope="session")

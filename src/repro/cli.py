@@ -86,6 +86,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="time observe() only (skip the per-request FPA predict)",
     )
+    svc_p.add_argument(
+        "--parallel",
+        type=str,
+        default=None,
+        metavar="BACKENDS",
+        help=(
+            "also run the executed-parallel batch-mine wall-clock mode on "
+            "these comma-separated backends (thread,process)"
+        ),
+    )
+    svc_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for --parallel (default: min(shards, cores))",
+    )
     return parser
 
 
@@ -159,6 +175,55 @@ def _run_service(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    if args.parallel:
+        from repro.service.harness import compare_parallel_mine
+
+        backends = tuple(b for b in args.parallel.split(",") if b)
+        wall_rows = []
+        single_mine_s = None  # measured once; independent of n_shards
+        for n_shards in (int(s) for s in args.shards.split(",") if s):
+            if n_shards == 1:
+                continue
+            cmp_ = compare_parallel_mine(
+                records,
+                base.with_(n_shards=n_shards),
+                n_workers=args.workers,
+                backends=backends,
+                single_mine_s=single_mine_s,
+            )
+            single_mine_s = cmp_.single_mine_s
+            for run in cmp_.runs:
+                wall_rows.append(
+                    (
+                        str(n_shards),
+                        run.backend,
+                        run.n_workers,
+                        f"{cmp_.single_mine_s:.2f}",
+                        f"{cmp_.sequential_mine_s:.2f}",
+                        f"{run.elapsed_s:.2f}",
+                        f"{run.throughput:,.0f}",
+                        f"{cmp_.speedup_vs_sequential(run):.2f}x",
+                    )
+                )
+        print(
+            "\nexecuted-parallel batch mine (wall clock, not modeled; "
+            "sequential = ShardedFarmer.mine on one thread)"
+        )
+        print(
+            format_table(
+                (
+                    "shards",
+                    "backend",
+                    "workers",
+                    "single s",
+                    "sequential s",
+                    "parallel s",
+                    "mine/s",
+                    "speedup",
+                ),
+                wall_rows,
+            )
+        )
     return 0
 
 

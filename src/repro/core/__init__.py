@@ -5,7 +5,7 @@ Four stages (Figure 2): Extracting → Constructing → Mining & Evaluating
 façade.
 """
 
-from repro.core.cominer import CoMiner
+from repro.core.cominer import CoMiner, RerankStats
 from repro.core.config import DEFAULT_ATTRIBUTES, PATHLESS_ATTRIBUTES, FarmerConfig
 from repro.core.constructor import GraphConstructor
 from repro.core.extractor import Extractor
@@ -15,6 +15,7 @@ from repro.core.sorter import CorrelationSnapshot, Sorter
 
 __all__ = [
     "CoMiner",
+    "RerankStats",
     "DEFAULT_ATTRIBUTES",
     "PATHLESS_ATTRIBUTES",
     "FarmerConfig",

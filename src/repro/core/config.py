@@ -54,6 +54,21 @@ class FarmerConfig:
             first query of a dirty list. If False, every request re-runs
             Algorithm 1 immediately (the paper's literal per-request
             schedule; used as the equivalence reference in tests).
+        rerank_kernel: how the full Algorithm-1 re-rank materialises a
+            Correlator List — "bulk" (default: one-pass candidate
+            evaluation + a single sort/threshold/capacity cut via
+            ``CorrelatorList.rebuild``) or "entrywise" (offer every
+            successor through ``CorrelatorList.update``, a binary
+            insertion each — the reference path the equivalence tests
+            compare against; both produce bit-identical lists).
+        incremental_rerank: if True (default), the re-rank keeps a
+            ``(vector-version pair, N_xy, N_x)`` stamp per Correlator
+            entry and skips both Function 1 and Function 2 for
+            successors whose inputs are unchanged since the last rank —
+            the incremental path that only touches the delta. False
+            recomputes every degree on every re-rank (the reference
+            schedule; results are bit-identical either way). Only
+            meaningful with the "bulk" kernel.
         vector_freeze_threshold: if > 0, a file's semantic vector is
             frozen (updates ignored, version stops bumping) once it has
             changed this many times — the vector-stability heuristic. A
@@ -98,6 +113,8 @@ class FarmerConfig:
     op_filter: tuple[str, ...] | None = None
     sim_cache_capacity: int = 65536
     lazy_reevaluation: bool = True
+    rerank_kernel: str = "bulk"
+    incremental_rerank: bool = True
     vector_freeze_threshold: int = 0
     n_shards: int = 1
     shard_policy: str = "hash"
@@ -138,6 +155,8 @@ class FarmerConfig:
             raise ConfigError("prefetch_k must be >= 0")
         if self.sim_cache_capacity < 0:
             raise ConfigError("sim_cache_capacity must be >= 0")
+        if self.rerank_kernel not in ("bulk", "entrywise"):
+            raise ConfigError(f"unknown rerank kernel {self.rerank_kernel!r}")
         if self.vector_freeze_threshold < 0:
             raise ConfigError("vector_freeze_threshold must be >= 0")
         if self.n_shards < 1:

@@ -46,7 +46,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass
 
-from repro.core.cominer import CoMiner
+from repro.core.cominer import CoMiner, RerankStats
 from repro.core.config import FarmerConfig
 from repro.core.constructor import GraphConstructor
 from repro.core.extractor import Extractor
@@ -72,6 +72,7 @@ class FarmerStats:
     vocabulary_size: int
     memory_bytes: int
     sim_cache: SimCacheStats
+    rerank: RerankStats
 
     @property
     def memory_megabytes(self) -> float:
@@ -167,7 +168,32 @@ class Farmer:
         is deferred entirely during the batch and a single tick-driven
         flush at the end re-ranks every file whose graph state changed.
         """
-        return self.mine_mixed((record, False) for record in records)
+        if not self.config.lazy_reevaluation:
+            for record in records:
+                self.observe(record)
+            return self
+        self.miner.flush_nodes(sorted(self.ingest(records)))
+        return self
+
+    def ingest(self, records: Iterable[TraceRecord]) -> set[int]:
+        """The ingest half of :meth:`mine` (echo-free streams): feed
+        graph and vectors only, deferring every flush; returns the
+        touched fids."""
+        op_filter = self.config.op_filter
+        constructor = self.constructor
+        vectors_update = constructor.vectors.update
+        graph_observe = constructor.graph.observe
+        changed: set[int] = set()
+        add, absorb = changed.add, changed.update
+        n = 0
+        for record in records:
+            if op_filter is None or record.op in op_filter:
+                vectors_update(record)
+                add(record.fid)
+                absorb(graph_observe(record.fid))
+                n += 1
+        self._n_observed += n
+        return changed
 
     def mine_mixed(
         self, records: Iterable[tuple[TraceRecord, bool]]
@@ -266,6 +292,11 @@ class Farmer:
         """
         return self.miner.sim_cache_stats()
 
+    def rerank_stats(self) -> RerankStats:
+        """Re-rank op counters (re-evaluations, entries scanned/skipped,
+        insort ops) — the supported surface for op-count assertions."""
+        return self.miner.rerank_stats()
+
     def stats(self) -> FarmerStats:
         """Full size/footprint summary."""
         snap = self.snapshot()
@@ -278,4 +309,5 @@ class Farmer:
             vocabulary_size=len(self.vocabulary),
             memory_bytes=self.memory_bytes(),
             sim_cache=self.sim_cache_stats(),
+            rerank=self.rerank_stats(),
         )

@@ -26,7 +26,6 @@ shard, and a shard whose endpoint moved on simply misses.
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
@@ -71,10 +70,11 @@ class SimilarityCache:
         if capacity < 0:
             raise ConfigError("similarity cache capacity must be >= 0")
         self.capacity = capacity
-        # (lo, hi) fid pair -> (lo_version, hi_version, sim value)
-        self._entries: OrderedDict[tuple[int, int], tuple[int, int, float]] = (
-            OrderedDict()
-        )
+        # (lo, hi) fid pair -> (lo_version, hi_version, sim value); a
+        # plain insertion-ordered dict doubles as the LRU queue (refresh
+        # = delete + reinsert), measurably cheaper than OrderedDict on
+        # the store-heavy batch-flush path
+        self._entries: dict[tuple[int, int], tuple[int, int, float]] = {}
         self._hits = 0
         self._misses = 0
         self._stale = 0
@@ -85,7 +85,8 @@ class SimilarityCache:
         if a > b:
             a, b = b, a
             ver_a, ver_b = ver_b, ver_a
-        entry = self._entries.get((a, b))
+        key = (a, b)
+        entry = self._entries.get(key)
         if entry is None:
             self._misses += 1
             return None
@@ -94,7 +95,8 @@ class SimilarityCache:
             self._stale += 1
             return None
         self._hits += 1
-        self._entries.move_to_end((a, b))
+        del self._entries[key]  # LRU refresh: move to the young end
+        self._entries[key] = entry
         return entry[2]
 
     def store(self, a: int, b: int, ver_a: int, ver_b: int, value: float) -> None:
@@ -105,12 +107,14 @@ class SimilarityCache:
             a, b = b, a
             ver_a, ver_b = ver_b, ver_a
         key = (a, b)
-        replacing = key in self._entries
-        self._entries[key] = (ver_a, ver_b, value)
-        if replacing:
-            self._entries.move_to_end(key)
-        elif len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        entries = self._entries
+        if key in entries:
+            del entries[key]  # reinsert at the young end
+            entries[key] = (ver_a, ver_b, value)
+            return
+        entries[key] = (ver_a, ver_b, value)
+        if len(entries) > self.capacity:
+            entries.pop(next(iter(entries)))
             self._evictions += 1
 
     def stats(self) -> SimCacheStats:
@@ -174,3 +178,25 @@ class SharedSimilarityCache(SimilarityCache):
     def approx_bytes(self) -> int:
         with self._lock:
             return super().approx_bytes()
+
+    def __getstate__(self):
+        # snapshot for the process-backend runner: entries and counters
+        # travel, the lock is recreated on unpickle
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": dict(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "stale": self._stale,
+                "evictions": self._evictions,
+            }
+
+    def __setstate__(self, state) -> None:
+        self.capacity = state["capacity"]
+        self._entries = dict(state["entries"])
+        self._hits = state["hits"]
+        self._misses = state["misses"]
+        self._stale = state["stale"]
+        self._evictions = state["evictions"]
+        self._lock = threading.Lock()

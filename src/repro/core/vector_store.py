@@ -37,25 +37,33 @@ large reduction in Function-1 recomputation.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.core.config import FarmerConfig
 from repro.core.extractor import Extractor
-from repro.traces.record import TraceRecord, attribute_value
+from repro.traces.record import TraceRecord, attribute_getter
 from repro.vsm.path import tokenize_path
 from repro.vsm.vector import SemanticVector
 
-__all__ = ["VectorStore"]
+__all__ = ["VectorStore", "ThreadSafeVectorStore"]
 
 
 class _MergeState:
-    """Recent distinct values per attribute for one file (LRU per attr)."""
+    """Recent distinct values per attribute for one file (LRU per attr).
 
-    __slots__ = ("values", "path")
+    Buckets map raw value → interned token id, so rebuilding the merged
+    vector never re-interns: the ids were resolved when the value
+    entered the bucket; ``path_ids`` caches the interned components of
+    ``path`` for the same reason.
+    """
+
+    __slots__ = ("values", "path", "path_ids")
 
     def __init__(self) -> None:
         self.values: dict[str, OrderedDict] = {}
         self.path: str | None = None
+        self.path_ids: tuple[int, ...] | None = None
 
 
 class VectorStore:
@@ -67,14 +75,31 @@ class VectorStore:
         self._vectors: dict[int, SemanticVector] = {}
         self._versions: dict[int, int] = {}
         self._merge: dict[int, _MergeState] = {}
+        # path string -> interned component ids; paths repeat across the
+        # namespace, so tokenisation+interning is paid once per path
+        self._path_ids: dict[str, tuple[int, ...]] = {}
         self._scalar_attrs = tuple(a for a in config.attributes if a != "path")
         self._wants_path = "path" in config.attributes
+        # per-record hot-path constants, resolved once
+        self._getters = tuple(
+            (attr, attribute_getter(attr)) for attr in self._scalar_attrs
+        )
+        self._policy = config.sv_policy
+        self._merge_cap = config.merge_cap
+        self._freeze_threshold = config.vector_freeze_threshold
 
     def _store(self, fid: int, vector: SemanticVector) -> None:
         """Install a vector, bumping the version only on a real change."""
         if self._vectors.get(fid) != vector:
             self._vectors[fid] = vector
             self._versions[fid] = self._versions.get(fid, 0) + 1
+
+    def _store_changed(self, fid: int, vector: SemanticVector) -> None:
+        """Install a vector the caller knows differs from the stored one
+        (merge-state change implies a different id set, so the equality
+        probe of :meth:`_store` would always say "changed")."""
+        self._vectors[fid] = vector
+        self._versions[fid] = self._versions.get(fid, 0) + 1
 
     def is_frozen(self, fid: int) -> bool:
         """Whether ``fid``'s vector has saturated and no longer updates."""
@@ -84,9 +109,10 @@ class VectorStore:
     def update(self, record: TraceRecord) -> None:
         """Fold one request into the file's vector."""
         fid = record.fid
-        if self.is_frozen(fid):
+        threshold = self._freeze_threshold
+        if threshold > 0 and self._versions.get(fid, 0) >= threshold:
             return
-        policy = self.config.sv_policy
+        policy = self._policy
         if policy == "first":
             if fid not in self._vectors:
                 self._store(fid, self.extractor.extract(record))
@@ -99,37 +125,59 @@ class VectorStore:
         if state is None:
             state = _MergeState()
             self._merge[fid] = state
-        cap = self.config.merge_cap
-        for attr in self._scalar_attrs:
-            value = attribute_value(record, attr)
+        cap = self._merge_cap
+        vocab = self.extractor.vocabulary
+        values = state.values
+        changed = False
+        for attr, getter in self._getters:
+            value = getter(record)
             if value is None:
                 continue
-            bucket = state.values.get(attr)
+            bucket = values.get(attr)
             if bucket is None:
                 bucket = OrderedDict()
-                state.values[attr] = bucket
+                values[attr] = bucket
             if value in bucket:
+                # recency refresh only — the merged vector is built from
+                # the bucket's key *set*, so no rebuild is needed
                 bucket.move_to_end(value)
             else:
-                bucket[value] = True
+                changed = True
+                bucket[value] = vocab.scalar_token(attr, value)
                 if len(bucket) > cap:
                     bucket.popitem(last=False)
-        if self._wants_path and record.path is not None:
+        path_changed = False
+        if self._wants_path and record.path is not None and record.path != state.path:
             state.path = record.path
-        self._store(fid, self._build_merged(state))
+            state.path_ids = self._resolve_path_ids(record.path)
+            path_changed = True
+        # fast path: a request that repeats an already-known context
+        # leaves every bucket's key set and the path untouched, so the
+        # merged vector is bit-identical — skip the rebuild entirely
+        # (the common case once a file's sharing set has been seen).
+        if changed and not path_changed and fid in self._vectors:
+            # a bucket gained an id it lacked (ids are attr-namespaced and
+            # unique), so the new vector provably differs — no eq probe
+            self._store_changed(fid, self._build_merged(state))
+        elif changed or path_changed or fid not in self._vectors:
+            # a changed path *string* can still tokenise to the same ids,
+            # so this path keeps the equality probe
+            self._store(fid, self._build_merged(state))
 
     def _build_merged(self, state: _MergeState) -> SemanticVector:
-        vocab = self.extractor.vocabulary
         scalars: list[int] = []
-        for attr, bucket in state.values.items():
-            for value in bucket:
-                scalars.append(vocab.scalar_token(attr, value))
-        path_ids = (
-            vocab.path_components(tokenize_path(state.path))
-            if state.path is not None
-            else None
-        )
-        return SemanticVector(scalar_ids=tuple(sorted(scalars)), path_ids=path_ids)
+        for bucket in state.values.values():
+            scalars.extend(bucket.values())
+        # unsorted on purpose: SemanticVector normalises once in
+        # __post_init__, so sorting here would sort twice
+        return SemanticVector(scalar_ids=tuple(scalars), path_ids=state.path_ids)
+
+    def _resolve_path_ids(self, path: str) -> tuple[int, ...]:
+        ids = self._path_ids.get(path)
+        if ids is None:
+            ids = self.extractor.vocabulary.path_components(tokenize_path(path))
+            self._path_ids[path] = ids
+        return ids
 
     def get(self, fid: int) -> SemanticVector | None:
         """Current vector of ``fid`` (None if never seen)."""
@@ -138,6 +186,12 @@ class VectorStore:
     def version_of(self, fid: int) -> int:
         """Version of ``fid``'s vector: 0 if unseen, then +1 per change."""
         return self._versions.get(fid, 0)
+
+    def maps(self) -> tuple[dict[int, SemanticVector], dict[int, int]]:
+        """The live ``(fid → vector, fid → version)`` dicts — the bulk
+        re-rank kernel's read view. Treat strictly as read-only; writes
+        go through :meth:`update`."""
+        return self._vectors, self._versions
 
     def __len__(self) -> int:
         return len(self._vectors)
@@ -152,4 +206,47 @@ class VectorStore:
                 total += 48 + 56 * len(bucket)
             if state.path is not None:
                 total += len(state.path)
+        total += sum(160 + len(p) for p in self._path_ids)
         return total
+
+
+class ThreadSafeVectorStore(VectorStore):
+    """A :class:`VectorStore` whose writes are safe under parallel ingest.
+
+    The sharded service routes every record to its fid's owner shard and
+    the echo path skips vector updates, so concurrent shards write
+    *disjoint* fid keys — the lock's job is to serialise the underlying
+    dict/merge-state mutations, not to arbitrate per-fid races (there are
+    none by construction). Reads (``get`` / ``version_of`` /
+    ``resolve``) stay lock-free: they are single dict lookups, and the
+    parallel runner's flush phase only runs after an ingest barrier, so
+    flush-time reads never race a write.
+
+    Instances are picklable (the process-backend runner ships a snapshot
+    to each worker); the lock is recreated on unpickle.
+    """
+
+    def __init__(self, config: FarmerConfig, extractor: Extractor) -> None:
+        super().__init__(config, extractor)
+        self._lock = threading.Lock()
+
+    def update(self, record: TraceRecord) -> None:
+        with self._lock:
+            super().update(record)
+
+    def approx_bytes(self) -> int:
+        with self._lock:
+            return super().approx_bytes()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        del state["_getters"]  # lambdas; re-resolved from attr names
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._getters = tuple(
+            (attr, attribute_getter(attr)) for attr in self._scalar_attrs
+        )
+        self._lock = threading.Lock()

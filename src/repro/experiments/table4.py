@@ -47,7 +47,13 @@ def run(
     data: dict[str, dict[str, float]] = {}
     for trace in TRACE_NAMES:
         records = cached_trace(trace, n_events, seeds[0])
-        farmer = Farmer(farmer_config_for(trace, max_strength=0.4))
+        # stamps off: Table 4 accounts the paper's reference model; the
+        # incremental re-rank memo is a speed-for-memory trade (~one
+        # stamp per retained edge) measured by the perf benchmarks, not
+        # part of the paper's footprint claim
+        farmer = Farmer(
+            farmer_config_for(trace, max_strength=0.4, incremental_rerank=False)
+        )
         farmer.mine(records)
         stats = farmer.stats()
         bytes_per_file = stats.memory_bytes / max(1, stats.n_files)

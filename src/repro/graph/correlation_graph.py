@@ -69,6 +69,11 @@ class CorrelationGraph:
         self.decrement = decrement
         self.successor_capacity = successor_capacity
         self._weight_fn = weight_fn
+        # distances are bounded by the window, so the schedule collapses
+        # to a lookup table — no weight-fn call on the per-edge hot path
+        self._weights: tuple[float, ...] = tuple(
+            weight_fn(d, decrement) for d in range(1, window + 1)
+        )
         self._nodes: dict[int, NodeState] = {}
         # sliding window of the last `window` fids; maxlen makes append
         # O(1) with automatic expiry (no list.pop(0) churn)
@@ -86,21 +91,39 @@ class CorrelationGraph:
         every distinct file currently in the sliding window; self edges
         are skipped.
         """
-        node = self._nodes.get(fid)
+        nodes = self._nodes
+        node = nodes.get(fid)
         if node is None:
             node = NodeState()
-            self._nodes[fid] = node
+            nodes[fid] = node
         node.access_count += 1
         node.change_tick += 1
 
         touched: list[int] = []
-        seen: set[int] = set()
+        weights = self._weights
+        capacity = self.successor_capacity
         # walk the window back-to-front: nearest predecessor has distance 1
+        # (touched doubles as the seen-set: the window holds ≤ `window`
+        # entries, and list containment beats a set allocation there)
         for distance, pred in enumerate(reversed(self._recent), start=1):
-            if pred == fid or pred in seen:
+            if pred == fid or pred in touched:
                 continue
-            seen.add(pred)
-            self._add_edge(pred, fid, distance)
+            # inlined _add_edge — this loop body runs per (window, record)
+            pnode = nodes.get(pred)
+            if pnode is None:  # pred seen only through the window
+                pnode = NodeState()
+                nodes[pred] = pnode
+            pnode.change_tick += 1
+            successors = pnode.successors
+            edge = successors.get(fid)
+            if edge is None:
+                if len(successors) >= capacity:
+                    self._evict_weakest(pnode)
+                edge = EdgeStats()
+                successors[fid] = edge
+            edge.weighted_count += weights[distance - 1]
+            edge.raw_count += 1
+            edge.last_distance = distance
             touched.append(pred)
         self._recent.append(fid)
         return touched
@@ -117,13 +140,17 @@ class CorrelationGraph:
                 self._evict_weakest(node)
             edge = EdgeStats()
             node.successors[dst] = edge
-        edge.weighted_count += self._weight_fn(distance, self.decrement)
+        edge.weighted_count += self._weights[distance - 1]
         edge.raw_count += 1
         edge.last_distance = distance
 
     @staticmethod
     def _evict_weakest(node: NodeState) -> None:
-        victim = min(node.successors, key=lambda k: node.successors[k].weighted_count)
+        victim = weakest = None
+        for fid, edge in node.successors.items():
+            if weakest is None or edge.weighted_count < weakest:
+                weakest = edge.weighted_count
+                victim = fid
         del node.successors[victim]
 
     # ------------------------------------------------------------------
@@ -149,6 +176,13 @@ class CorrelationGraph:
         """Successor table of a file (live view; empty dict if none)."""
         node = self._nodes.get(fid)
         return node.successors if node else {}
+
+    def node_map(self) -> dict[int, NodeState]:
+        """The live ``fid → NodeState`` dict — the re-rank kernel's read
+        view (one lookup yields successors, access count and change tick
+        together). Treat strictly as read-only; writes go through
+        :meth:`observe`."""
+        return self._nodes
 
     def frequency(self, src: int, dst: int) -> float:
         """Access frequency ``F(src, dst) = N_AB / N_A`` (0.0 if absent).

@@ -5,13 +5,17 @@ miner shards behind a deterministic router, sharing the vocabulary, the
 vector store and (optionally) a thread-safe versioned similarity cache.
 This is the architectural seam for scaling the miner alongside the
 metadata servers: shard *i* co-locates with MDS *i* in the cluster
-simulator, and every future scaling step (async batching, multi-process
-shards, replication) plugs in behind the same façade.
+simulator, and :class:`ParallelShardRunner` executes the shards on real
+threads or processes (the shared stores are lock-protected for exactly
+this). Every future scaling step (async batching, replication) plugs in
+behind the same façade.
 """
 
 from repro.service.harness import (
     ServiceComparison,
     ShardTiming,
+    WallClockComparison,
+    compare_parallel_mine,
     compare_single_vs_sharded,
     replay_sharded,
     replay_single,
@@ -22,12 +26,19 @@ from repro.service.router import (
     ShardRouter,
     make_router,
 )
+from repro.service.runner import ParallelMineReport, ParallelShardRunner
 from repro.service.sharded import ShardedFarmer
-from repro.service.stats import ServiceStats, combine_cache_stats
+from repro.service.stats import (
+    ServiceStats,
+    combine_cache_stats,
+    combine_rerank_stats,
+)
 
 __all__ = [
     "ServiceComparison",
     "ShardTiming",
+    "WallClockComparison",
+    "compare_parallel_mine",
     "compare_single_vs_sharded",
     "replay_sharded",
     "replay_single",
@@ -35,7 +46,10 @@ __all__ = [
     "RangeShardRouter",
     "ShardRouter",
     "make_router",
+    "ParallelMineReport",
+    "ParallelShardRunner",
     "ShardedFarmer",
     "ServiceStats",
     "combine_cache_stats",
+    "combine_rerank_stats",
 ]

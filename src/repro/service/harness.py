@@ -1,16 +1,25 @@
 """Replay harness: single-miner vs sharded mining throughput.
 
-The simulator is single-threaded, so shard concurrency is *modeled*, not
-executed: each shard replays its substream (owned records through the
-full pipeline, boundary echoes through the echo path) and is timed
-separately. In a deployment the shards run on separate cores/processes —
-HUSt pairs one with each metadata server — so the service-level wall
-time is the slowest shard (the critical path), and
+Two measurement modes:
 
-    aggregate throughput = accepted records / critical path.
+* **Modeled** (the original mode): each shard replays its substream
+  (owned records through the full pipeline, boundary echoes through the
+  echo path) sequentially and is timed separately. In a deployment the
+  shards run on separate cores/processes — HUSt pairs one with each
+  metadata server — so the modeled service-level wall time is the
+  slowest shard (the critical path), and
 
-That is the quantity the service benchmark and the ``service`` CLI
-subcommand report, next to the measured single-miner baseline.
+      aggregate throughput = accepted records / critical path.
+
+* **Wall-clock** (:func:`compare_parallel_mine`): the shards actually
+  run concurrently on a
+  :class:`~repro.service.runner.ParallelShardRunner` (thread or process
+  backend) and the measured quantity is real elapsed time — no
+  critical-path arithmetic. Under CPython's GIL the thread backend
+  mostly exercises the locking story; the process backend parallelises
+  the Function-1-heavy flush phase for real.
+
+The service benchmark and the ``service`` CLI subcommand report both.
 """
 
 from __future__ import annotations
@@ -21,10 +30,19 @@ from dataclasses import dataclass
 
 from repro.core.config import FarmerConfig
 from repro.core.farmer import Farmer
+from repro.service.runner import ParallelMineReport, ParallelShardRunner
 from repro.service.sharded import ShardedFarmer
 from repro.traces.record import TraceRecord
 
-__all__ = ["ShardTiming", "ServiceComparison", "replay_single", "replay_sharded", "compare_single_vs_sharded"]
+__all__ = [
+    "ShardTiming",
+    "ServiceComparison",
+    "WallClockComparison",
+    "replay_single",
+    "replay_sharded",
+    "compare_single_vs_sharded",
+    "compare_parallel_mine",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -158,4 +176,58 @@ def compare_single_vs_sharded(
         n_boundary_echoes=service.n_boundary_echoes,
         cache_hit_rate=service.sim_cache_stats().hit_rate,
         memory_bytes=service.memory_bytes(),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class WallClockComparison:
+    """Measured (not modeled) batch-mine timings: one Farmer vs the
+    sequential sharded service vs executed-parallel runs."""
+
+    n_records: int
+    single_mine_s: float  # plain Farmer.mine on one thread
+    sequential_mine_s: float  # ShardedFarmer.mine on one thread
+    runs: tuple[ParallelMineReport, ...]
+
+    def speedup_vs_sequential(self, report: ParallelMineReport) -> float:
+        """Wall-clock speedup of one parallel run over the sequential
+        sharded ``mine`` (> 1.0 means the executor genuinely helped)."""
+        return (
+            self.sequential_mine_s / report.elapsed_s
+            if report.elapsed_s > 0
+            else 0.0
+        )
+
+
+def compare_parallel_mine(
+    records: Sequence[TraceRecord],
+    config: FarmerConfig,
+    n_workers: int | None = None,
+    backends: Sequence[str] = ("thread", "process"),
+    single_mine_s: float | None = None,
+) -> WallClockComparison:
+    """Wall-clock mode: time ``mine`` over ``records`` as (a) one plain
+    Farmer, (b) the sequential ``ShardedFarmer``, and (c) one
+    executed-parallel run per requested backend, each on a fresh
+    service instance so every run mines the same cold state. Pass
+    ``single_mine_s`` to reuse a measured single-miner baseline across
+    several shard counts (it does not depend on ``n_shards``)."""
+    if single_mine_s is None:
+        start = time.perf_counter()
+        Farmer(config.with_(n_shards=1)).mine(records)
+        single_mine_s = time.perf_counter() - start
+    start = time.perf_counter()
+    sequential = ShardedFarmer(config).mine(records)
+    sequential_s = time.perf_counter() - start
+    runs = []
+    for backend in backends:
+        with ParallelShardRunner(
+            ShardedFarmer(config), n_workers=n_workers, backend=backend
+        ) as runner:
+            runs.append(runner.mine(records))
+    return WallClockComparison(
+        n_records=sequential.n_observed,
+        single_mine_s=single_mine_s,
+        sequential_mine_s=sequential_s,
+        runs=tuple(runs),
     )

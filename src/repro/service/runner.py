@@ -1,0 +1,220 @@
+"""Executed-parallel shard runtime: real threads/processes, not a model.
+
+:mod:`repro.service.harness` *models* shard concurrency (each substream
+replayed sequentially, service wall time = slowest shard).
+:class:`ParallelShardRunner` *executes* it: the shards of a
+:class:`~repro.service.sharded.ShardedFarmer` ingest their substreams
+and flush their Correlator Lists on a real executor, and the measured
+quantity is wall-clock elapsed time.
+
+Phase structure (and why it is correct)
+---------------------------------------
+
+``mine`` runs the same two-phase schedule as the sequential
+``ShardedFarmer.mine`` — every shard ingests before any shard flushes —
+with each phase fanned out across workers:
+
+* **Ingest** writes three shared structures. The vocabulary locks
+  interning (:class:`~repro.vsm.vocabulary.ThreadSafeVocabulary`); the
+  vector store locks updates
+  (:class:`~repro.core.vector_store.ThreadSafeVectorStore`), and the
+  router guarantees concurrent shards write *disjoint* fids (echo
+  records skip vector updates entirely). Per-shard graphs are private.
+* **Barrier** — the executor joins all ingest futures.
+* **Flush** only *reads* the now-quiescent vector store; writes go to
+  shard-private lists and the lock-protected shared similarity cache.
+
+Mined lists are therefore bit-identical to the sequential
+``ShardedFarmer.mine`` over the same records, for both backends
+(property-tested). Two sources of benign nondeterminism remain and are
+out of the equivalence scope: vocabulary *id assignment* varies with
+thread interleaving (ids are opaque — similarity compares them only for
+equality, so degrees are unaffected), and shared-cache hit/miss
+*counters* vary (two shards may race to compute the same pair; both
+compute the same value).
+
+Backends
+--------
+
+* ``"thread"`` — both phases run on a ``ThreadPoolExecutor``. Under
+  CPython's GIL this mostly exercises the locking story rather than
+  speeding up pure-Python mining; it is the correctness backend (CI
+  runs it to catch lock regressions) and the performance backend on
+  free-threaded builds.
+* ``"process"`` — ingest runs in the parent (it writes the shared
+  vocabulary/vector store; shipping those writes back across process
+  boundaries would cost more than the ingest itself), then the flush —
+  the Function-1-heavy phase — fans out on a ``ProcessPoolExecutor``.
+  Each worker receives a pickled snapshot of its shard (locks are
+  recreated on unpickle) and ships back exactly the lists it re-ranked;
+  the parent installs them via
+  :meth:`~repro.core.cominer.CoMiner.adopt_ranked`. Worker-side stamp
+  and cache side-state stays behind — losing it costs recomputation on
+  a later flush, never correctness.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.farmer import Farmer
+from repro.errors import ConfigError
+from repro.graph.correlator_list import CorrelatorList
+from repro.service.sharded import ShardedFarmer
+from repro.traces.record import TraceRecord
+
+__all__ = ["ParallelShardRunner", "ParallelMineReport", "BACKENDS"]
+
+BACKENDS = ("thread", "process")
+
+
+def _flush_shard_worker(
+    shard: Farmer, fids: list[int]
+) -> dict[int, CorrelatorList]:
+    """Process-backend worker: flush a pickled shard snapshot and return
+    the lists it re-ranked (module-level so it pickles under spawn)."""
+    return shard.miner.flush_nodes_report(fids)
+
+
+@dataclass(frozen=True, slots=True)
+class ParallelMineReport:
+    """Wall-clock measurement of one parallel ``mine`` call."""
+
+    backend: str
+    n_workers: int
+    n_records: int  # service-level accepted records (echoes not counted)
+    n_boundary_echoes: int
+    partition_s: float
+    ingest_s: float
+    flush_s: float
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total wall time of the call (all phases)."""
+        return self.partition_s + self.ingest_s + self.flush_s
+
+    @property
+    def throughput(self) -> float:
+        """Accepted records per wall-clock second."""
+        elapsed = self.elapsed_s
+        return self.n_records / elapsed if elapsed > 0 else 0.0
+
+
+class ParallelShardRunner:
+    """Drives a :class:`ShardedFarmer`'s shards on a real executor.
+
+    The runner owns no mining state — it orchestrates the service it
+    wraps, so queries/stats keep going through the service object and a
+    runner can be created per batch or reused across batches (the
+    boundary-detection seed carries over exactly as with sequential
+    ``mine``).
+    """
+
+    def __init__(
+        self,
+        service: ShardedFarmer,
+        n_workers: int | None = None,
+        backend: str = "thread",
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ConfigError(
+                f"unknown runner backend {backend!r}; use one of {BACKENDS}"
+            )
+        if not service.config.lazy_reevaluation:
+            raise ConfigError(
+                "ParallelShardRunner requires lazy_reevaluation: the eager "
+                "schedule interleaves shared-vector writes with per-request "
+                "ranking, which has no order-independent parallel execution"
+            )
+        if n_workers is None:
+            n_workers = min(service.config.n_shards, os.cpu_count() or 1)
+        if n_workers < 1:
+            raise ConfigError("n_workers must be >= 1")
+        self.service = service
+        self.n_workers = n_workers
+        self.backend = backend
+        # the executor is created lazily and reused across batches, so a
+        # chunked stream pays worker spin-up once, not per mine() call
+        self._pool: ThreadPoolExecutor | ProcessPoolExecutor | None = None
+
+    def _executor(self):
+        if self._pool is None:
+            if self.backend == "thread":
+                self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
+            else:
+                self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelShardRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def mine(self, records: Sequence[TraceRecord]) -> ParallelMineReport:
+        """Batch-mine ``records`` with the shards running in parallel.
+
+        Same contract as ``ShardedFarmer.mine`` (ingest barrier, then
+        flush; lists rank against end-of-batch state); returns the
+        phase-timed wall-clock report.
+        """
+        service = self.service
+        t0 = time.perf_counter()
+        # intra-package use of the service's substream rule and stream
+        # accounting, exactly like the replay harness
+        subs, accepted, prev = service._partition(records, service._prev_owner)
+        t1 = time.perf_counter()
+        work = [
+            (shard, sub) for shard, sub in zip(service.shards, subs) if sub
+        ]
+        pool = self._executor()
+        if self.backend == "thread":
+            touched = list(
+                pool.map(lambda item: item[0].ingest_mixed(item[1]), work)
+            )
+            t2 = time.perf_counter()
+            # barrier above: every shard has ingested; flushes only
+            # read the shared stores now
+            list(
+                pool.map(
+                    lambda item: item[0].miner.flush_nodes(sorted(item[1])),
+                    zip((shard for shard, _ in work), touched),
+                )
+            )
+            t3 = time.perf_counter()
+        else:
+            # process backend: ingest writes shared state, so it stays in
+            # the parent; the Function-1-heavy flush is what fans out
+            touched = [shard.ingest_mixed(sub) for shard, sub in work]
+            t2 = time.perf_counter()
+            fid_lists = [sorted(t) for t in touched]
+            futures = [
+                pool.submit(_flush_shard_worker, shard, fids)
+                for (shard, _), fids in zip(work, fid_lists)
+            ]
+            for (shard, _), fids, future in zip(work, fid_lists, futures):
+                shard.miner.adopt_ranked(future.result(), fids)
+            t3 = time.perf_counter()
+        echoes = sum(len(s) for s in subs) - accepted
+        service._n_observed += accepted
+        service._n_boundary_echoes += echoes
+        service._prev_owner = prev
+        return ParallelMineReport(
+            backend=self.backend,
+            n_workers=self.n_workers,
+            n_records=accepted,
+            n_boundary_echoes=echoes,
+            partition_s=t1 - t0,
+            ingest_s=t2 - t1,
+            flush_s=t3 - t2,
+        )

@@ -58,13 +58,13 @@ from repro.core.extractor import Extractor
 from repro.core.farmer import Farmer
 from repro.core.simcache import SharedSimilarityCache, SimCacheStats
 from repro.core.sorter import CorrelationSnapshot
-from repro.core.vector_store import VectorStore
+from repro.core.vector_store import ThreadSafeVectorStore
 from repro.errors import ConfigError
 from repro.graph.correlator_list import CorrelatorEntry
 from repro.service.router import ShardRouter, make_router
 from repro.service.stats import ServiceStats, combine_cache_stats
 from repro.traces.record import TraceRecord
-from repro.vsm.vocabulary import Vocabulary
+from repro.vsm.vocabulary import ThreadSafeVocabulary
 
 __all__ = ["ShardedFarmer"]
 
@@ -90,9 +90,15 @@ class ShardedFarmer:
                 f"router has {router.n_shards} shards, config wants {n}"
             )
         self.router = router
-        self.vocabulary = Vocabulary()
+        # the shared stores are the service's write-contended state: the
+        # vocabulary locks interning (all shards intern), the vector
+        # store locks updates (shards write disjoint fids, but the dicts
+        # underneath still need serialised mutation), and the similarity
+        # cache locks everything. This is what lets ParallelShardRunner
+        # execute shards on real threads.
+        self.vocabulary = ThreadSafeVocabulary()
         self.extractor = Extractor(self.config.attributes, self.vocabulary)
-        self.vector_store = VectorStore(self.config, self.extractor)
+        self.vector_store = ThreadSafeVectorStore(self.config, self.extractor)
         self.sim_cache = (
             SharedSimilarityCache(self.config.sim_cache_capacity)
             if self.config.shared_sim_cache

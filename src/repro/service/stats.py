@@ -11,10 +11,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.cominer import RerankStats
 from repro.core.farmer import FarmerStats
 from repro.core.simcache import SimCacheStats
 
-__all__ = ["ServiceStats", "combine_cache_stats"]
+__all__ = ["ServiceStats", "combine_cache_stats", "combine_rerank_stats"]
 
 
 def combine_cache_stats(stats: list[SimCacheStats]) -> SimCacheStats:
@@ -37,6 +38,19 @@ def combine_cache_stats(stats: list[SimCacheStats]) -> SimCacheStats:
         evictions=sum(s.evictions for s in stats),
         size=sum(s.size for s in stats),
         capacity=sum(s.capacity for s in stats),
+    )
+
+
+def combine_rerank_stats(stats: list[RerankStats]) -> RerankStats:
+    """Sum re-rank op counters across shards (each shard's counters are
+    private, so the sum is the service-level op count)."""
+    return RerankStats(
+        n_reevaluations=sum(s.n_reevaluations for s in stats),
+        entries_scanned=sum(s.entries_scanned for s in stats),
+        entries_skipped_unchanged=sum(
+            s.entries_skipped_unchanged for s in stats
+        ),
+        insort_ops=sum(s.insort_ops for s in stats),
     )
 
 
@@ -95,3 +109,8 @@ class ServiceStats:
         """Correlator-List entries summed over shards (same scope as
         ``n_lists``)."""
         return sum(s.n_entries for s in self.shards)
+
+    @property
+    def rerank(self) -> RerankStats:
+        """Service-level re-rank op counters (shard counters summed)."""
+        return combine_rerank_stats([s.rerank for s in self.shards])

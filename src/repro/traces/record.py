@@ -80,6 +80,17 @@ def attribute_value(record: TraceRecord, name: str) -> Any:
     return _GETTERS[name](record)
 
 
+def attribute_getter(name: str) -> Callable[["TraceRecord"], Any]:
+    """The accessor for attribute ``name`` — resolve once, call per
+    record (the per-record name lookup of :func:`attribute_value` is
+    measurable on the ingest hot path).
+
+    Raises:
+        KeyError: for an unknown attribute name.
+    """
+    return _GETTERS[name]
+
+
 def attribute_tuple(record: TraceRecord, names: Iterable[str]) -> tuple[Any, ...]:
     """Tuple of attribute values, used as a stream-partitioning key."""
     return tuple(_GETTERS[name](record) for name in names)

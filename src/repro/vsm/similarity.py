@@ -74,14 +74,22 @@ def ipa_similarity(
 ) -> float:
     """Function 1 with the Integrated Path Algorithm.
 
-    Bag mode runs on the vectors' precomputed ``sorted_path`` tuples so
-    the per-comparison cost is a single linear merge — no sorting on the
-    hot path.
+    Scalar hits are a C-level set intersection (scalar ids are unique by
+    construction, so bag and set semantics coincide); bag mode runs on
+    the vectors' precomputed ``sorted_path`` tuples so the per-comparison
+    cost is a single linear merge — no sorting on the hot path.
     """
-    denom = max(a.n_items("ipa"), b.n_items("ipa"))
+    na, nb = a.n_ipa, b.n_ipa
+    denom = na if na >= nb else nb
     if denom == 0:
         return 0.0
-    hits = float(bag_intersection(a.scalar_ids, b.scalar_ids))
+    sa = a._scalar_set
+    if sa is None:
+        sa = a.scalar_set  # builds and caches
+    sb = b._scalar_set
+    if sb is None:
+        sb = b.scalar_set
+    hits = float(len(sa & sb))
     pa, pb = a.path_ids, b.path_ids
     if pa and pb:
         if path_mode == "bag":

@@ -38,24 +38,47 @@ class SemanticVector:
     """Immutable semantic vector of a file.
 
     Attributes:
-        scalar_ids: sorted interned ids of the scalar items.
+        scalar_ids: sorted, de-duplicated interned ids of the scalar
+            items (scalar items are a set — tokens are namespaced by
+            attribute, so a duplicate id carries no information).
         path_ids: interned path-component ids in path order, or ``None``
             when the trace carries no path for this file.
+        n_ipa: precomputed IPA item count (scalars + 1 for the path) —
+            the similarity denominator, read twice per comparison.
         sorted_path: ``path_ids`` pre-sorted for bag intersection (the
             IPA bag-mode hot path); computed lazily on first use and
             cached, so the sort cost is paid at most once per vector and
             not at all under configurations that never bag-compare paths.
+        scalar_set: ``scalar_ids`` as a frozenset, lazily cached. Scalar
+            ids are unique by construction (tokens are namespaced by
+            attribute, and each attribute contributes distinct values),
+            so the bag intersection of two scalar tuples equals the set
+            intersection — which runs as one C-level ``&``.
     """
 
     scalar_ids: tuple[int, ...]
     path_ids: tuple[int, ...] | None = None
+    n_ipa: int = field(init=False, repr=False, compare=False, default=0)
     _sorted_path: tuple[int, ...] | None = field(
+        init=False, repr=False, compare=False, default=None
+    )
+    _scalar_set: frozenset[int] | None = field(
         init=False, repr=False, compare=False, default=None
     )
 
     def __post_init__(self) -> None:
-        if list(self.scalar_ids) != sorted(self.scalar_ids):
-            object.__setattr__(self, "scalar_ids", tuple(sorted(self.scalar_ids)))
+        ids = self.scalar_ids
+        # normalise to strictly increasing: scalar items are a *set*
+        # (namespaced interning makes duplicates meaningless), and
+        # uniqueness is what lets similarity run set intersections
+        normalised = tuple(sorted(set(ids)))
+        if normalised != ids:
+            object.__setattr__(self, "scalar_ids", normalised)
+        object.__setattr__(
+            self,
+            "n_ipa",
+            len(self.scalar_ids) + (1 if self.path_ids is not None else 0),
+        )
 
     @property
     def sorted_path(self) -> tuple[int, ...]:
@@ -63,6 +86,14 @@ class SemanticVector:
         if cached is None:
             cached = tuple(sorted(self.path_ids)) if self.path_ids else ()
             object.__setattr__(self, "_sorted_path", cached)
+        return cached
+
+    @property
+    def scalar_set(self) -> frozenset[int]:
+        cached = self._scalar_set
+        if cached is None:
+            cached = frozenset(self.scalar_ids)
+            object.__setattr__(self, "_scalar_set", cached)
         return cached
 
     def n_items(self, method: str) -> int:
@@ -97,4 +128,6 @@ class SemanticVector:
         total = 64 + 8 * n
         if self._sorted_path:
             total += 56 + 8 * len(self._sorted_path)
+        if self._scalar_set is not None:
+            total += 216 + 32 * len(self._scalar_set)
         return total

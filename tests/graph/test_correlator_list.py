@@ -134,3 +134,105 @@ class TestProperties:
         assert all(e.degree > 0.3 for e in entries)
         fids = [e.fid for e in entries]
         assert len(fids) == len(set(fids))  # no duplicates
+
+
+class TestRebuild:
+    """The one-pass bulk kernel vs the entry-by-entry update path."""
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=60),
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            max_size=40,
+        ),
+        st.dictionaries(
+            st.integers(min_value=0, max_value=60),
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            max_size=40,
+        ),
+    )
+    def test_rebuild_equals_update_stream(self, previous, candidates):
+        """``rebuild(candidates)`` is bit-identical to clearing and then
+        offering every candidate through ``update`` — whatever state the
+        list held before, and in any offer order."""
+        bulk = CorrelatorList(threshold=0.3, capacity=5)
+        entrywise = CorrelatorList(threshold=0.3, capacity=5)
+        for fid, degree in previous.items():
+            bulk.update(fid, degree)
+            entrywise.update(fid, degree)
+        bulk.rebuild(candidates.items())
+        for fid in [e.fid for e in entrywise.entries()]:
+            entrywise.discard(fid)
+        for fid, degree in candidates.items():
+            entrywise.update(fid, degree)
+        assert bulk.entries() == entrywise.entries()
+        assert bulk.is_sorted()
+        expected = sorted(
+            ((f, d) for f, d in candidates.items() if d > 0.3),
+            key=lambda item: (-item[1], item[0]),
+        )[:5]
+        assert [(e.fid, e.degree) for e in bulk.entries()] == expected
+
+    def test_rebuild_capacity_cut_is_true_top_k(self):
+        lst = CorrelatorList(threshold=0.0, capacity=3)
+        lst.rebuild([(i, 0.1 * (i + 1)) for i in range(8)])
+        assert [e.fid for e in lst.entries()] == [7, 6, 5]
+
+    def test_rebuild_replaces_existing_state(self):
+        lst = CorrelatorList(threshold=0.0, capacity=8)
+        for fid in range(5):
+            lst.update(fid, 0.9)
+        lst.rebuild([(9, 0.5)])
+        assert [e.fid for e in lst.entries()] == [9]
+        assert lst.degree_of(0) is None
+
+    def test_rebuild_counts_no_insorts(self):
+        lst = CorrelatorList(threshold=0.0, capacity=8)
+        lst.rebuild([(i, 0.5) for i in range(8)])
+        assert lst.insort_ops == 0
+        lst.update(9, 0.9)
+        assert lst.insort_ops == 1
+
+
+class TestBisectRemove:
+    """Satellite: ``_remove`` locates the victim by bisect on the
+    ``(-degree, fid)`` sort key; behaviour identical to a linear scan."""
+
+    @staticmethod
+    def _linear_reference(entries, fid):
+        return [e for e in entries if e.fid != fid]
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=30),
+            # a coarse float grid makes degree ties (the interesting
+            # bisect case) common instead of vanishingly rare
+            st.sampled_from([0.1, 0.2, 0.2, 0.5, 0.5, 0.5, 0.9]),
+            min_size=1,
+            max_size=25,
+        ),
+        st.data(),
+    )
+    def test_discard_matches_linear_scan(self, degrees, data):
+        lst = CorrelatorList(threshold=0.0, capacity=32)
+        for fid, degree in degrees.items():
+            lst.update(fid, degree)
+        victim = data.draw(st.sampled_from(sorted(degrees)))
+        expected = self._linear_reference(lst.entries(), victim)
+        lst.discard(victim)
+        assert lst.entries() == expected
+        assert victim not in lst
+        assert lst.is_sorted()
+
+    def test_discard_among_ties(self):
+        lst = CorrelatorList(threshold=0.0, capacity=32)
+        for fid in (3, 7, 11, 15):
+            lst.update(fid, 0.5)
+        lst.discard(11)
+        assert [e.fid for e in lst.entries()] == [3, 7, 15]
+
+    def test_discard_absent_fid_noop(self):
+        lst = CorrelatorList(threshold=0.0)
+        lst.update(1, 0.5)
+        lst.discard(99)
+        assert len(lst) == 1
