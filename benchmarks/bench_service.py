@@ -33,6 +33,8 @@ from repro.service.harness import (
 )
 from repro.service.runner import ParallelShardRunner
 from repro.service.sharded import ShardedFarmer
+from repro.storage.cluster import SimulationConfig, run_simulation
+from repro.storage.prefetch import ShardedFarmerPrefetcher
 
 BASE = FarmerConfig()
 
@@ -224,6 +226,78 @@ def bench_parallel_mine(benchmark, hp_bench_trace, bench_record, backend):
         elapsed_s=report.elapsed_s,
         n_workers=report.n_workers,
         lists_equal_sequential=True,
+    )
+
+
+def bench_routed_prefetch_cluster(benchmark, hp_bench_trace, bench_record):
+    """Cluster-routed prefetch vs candidate-drop in the 4-MDS cluster.
+
+    Same engine, same per-request candidate budget and queue limits;
+    the routed variant forwards cross-server candidates to the owning
+    MDS's prefetch queue instead of dropping them. The asserted (and
+    BENCH_service.json-recorded) property is a strictly higher demand
+    hit ratio.
+    """
+    config = SimulationConfig(n_mds=4, cache_capacity=24)
+
+    def engine():
+        return ShardedFarmerPrefetcher(ShardedFarmer(BASE.with_(n_shards=4)))
+
+    def routed():
+        return run_simulation(
+            hp_bench_trace,
+            engine(),
+            SimulationConfig(n_mds=4, cache_capacity=24, routed_prefetch=True),
+        )
+
+    routed_report = benchmark.pedantic(routed, rounds=2, iterations=1)
+    drop_report = run_simulation(hp_bench_trace, engine(), config)
+    print(
+        f"\n[routed hit {routed_report.hit_ratio:.3f} "
+        f"({routed_report.prefetch_forwarded} forwarded) vs "
+        f"drop hit {drop_report.hit_ratio:.3f}; issued "
+        f"{routed_report.prefetch_issued} vs {drop_report.prefetch_issued}]"
+    )
+    assert routed_report.hit_ratio > drop_report.hit_ratio
+    assert routed_report.prefetch_forwarded > 0
+    bench_record(
+        routed_hit_ratio=routed_report.hit_ratio,
+        drop_hit_ratio=drop_report.hit_ratio,
+        routed_prefetch_forwarded=routed_report.prefetch_forwarded,
+        routed_prefetch_issued=routed_report.prefetch_issued,
+        drop_prefetch_issued=drop_report.prefetch_issued,
+        routed_mean_response_us=routed_report.mean_response_ns / 1e3,
+        drop_mean_response_us=drop_report.mean_response_ns / 1e3,
+    )
+
+
+def bench_rebalance_migration(benchmark, hp_bench_trace, bench_record):
+    """Topology change on a mined service: consistent-hash 4 → 5.
+
+    Measures the migration itself (rank + ship the moved fids'
+    nodes/lists) and records the moved fraction — the consistent-hash
+    contract is a minority move, so migration stays far cheaper than
+    the re-mine it replaces.
+    """
+    cfg = BASE.with_(n_shards=4, shard_policy="consistent_hash")
+
+    def migrate():
+        service = ShardedFarmer(cfg).mine(hp_bench_trace)
+        return service.rebalance(n_shards=5)
+
+    report = benchmark.pedantic(migrate, rounds=2, iterations=1)
+    # benchmark timing includes the mine; the report's own clock is the
+    # migration alone
+    print(
+        f"\n[rebalance 4->5: moved {report.n_migrated}/{report.n_owned} fids "
+        f"({report.moved_fraction:.1%}) in {report.elapsed_s * 1e3:.1f}ms]"
+    )
+    assert 0 < report.moved_fraction < 0.5
+    bench_record(
+        migration_s=report.elapsed_s,
+        n_migrated=report.n_migrated,
+        n_owned=report.n_owned,
+        moved_fraction=report.moved_fraction,
     )
 
 

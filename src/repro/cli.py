@@ -7,11 +7,15 @@ Usage::
     farmer-repro run table2
     farmer-repro all --events 3000 --seeds 1
     farmer-repro service --events 20000 --shards 1,2,4,8
+    farmer-repro service --shards 4 --router consistent_hash --rebalance 6
+    farmer-repro service --shards 4 --mds 4 --routed-prefetch
 
 or equivalently ``python -m repro ...``. The ``service`` subcommand
 measures the sharded mining service against the single-miner baseline
 (aggregate throughput modeled as records over the slowest shard's
-replay — see :mod:`repro.service.harness`).
+replay — see :mod:`repro.service.harness`), and can additionally
+demonstrate shard rebalancing (``--rebalance``) and the cluster-routed
+prefetch path (``--mds`` / ``--routed-prefetch``).
 """
 
 from __future__ import annotations
@@ -60,10 +64,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated shard counts, e.g. 1,4",
     )
     svc_p.add_argument(
+        "--router",
+        choices=("hash", "range", "consistent_hash"),
+        default=None,
+        help=(
+            "namespace partitioning policy (consistent_hash = virtual-node "
+            "ring; rebalancing moves only ~1/n of the fids)"
+        ),
+    )
+    svc_p.add_argument(
         "--policy",
-        choices=("hash", "range"),
-        default="hash",
-        help="namespace partitioning policy",
+        choices=("hash", "range", "consistent_hash"),
+        default=None,
+        help="deprecated alias of --router",
+    )
+    svc_p.add_argument(
+        "--rebalance",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "after the replay, rebalance a mined service to N shards "
+            "(migrates only the fids whose owner changed) and report the "
+            "migration"
+        ),
+    )
+    svc_p.add_argument(
+        "--echo-interval",
+        type=int,
+        default=0,
+        metavar="K",
+        help=(
+            "batch boundary echoes: drain every K accepted requests instead "
+            "of just-in-time (0 = just-in-time, bit-identical to synchronous)"
+        ),
+    )
+    svc_p.add_argument(
+        "--mds",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "also run the N-server cluster simulation comparing candidate-"
+            "drop vs cluster-routed prefetch (see --routed-prefetch)"
+        ),
+    )
+    svc_p.add_argument(
+        "--routed-prefetch",
+        action="store_true",
+        help=(
+            "with --mds: additionally run the cluster-routed variant "
+            "(cross-server prefetch candidates forwarded to the owning "
+            "MDS's queue instead of dropped) and compare hit ratios"
+        ),
     )
     svc_p.add_argument(
         "--isolate",
@@ -93,7 +146,10 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="BACKENDS",
         help=(
             "also run the executed-parallel batch-mine wall-clock mode on "
-            "these comma-separated backends (thread,process)"
+            "these comma-separated backends (thread,process). Note: on a "
+            "machine with fewer cores than workers (e.g. a 1-core CI "
+            "container) the measured numbers show executor overhead, not "
+            "speedup — see docs/benchmarks.md"
         ),
     )
     svc_p.add_argument(
@@ -111,14 +167,16 @@ def _run_service(args: argparse.Namespace) -> int:
     from repro.service.harness import compare_single_vs_sharded, replay_single
     from repro.traces.synthetic import generate_trace
 
+    policy = args.router or args.policy or "hash"
     # farmer_config_for picks the trace's attribute set (Table 5): HP/LLNL
     # mine paths, INS/RES fall back to file id + device
     base = farmer_config_for(
         args.trace,
-        shard_policy=args.policy,
+        shard_policy=policy,
         shared_sim_cache=not args.per_shard_cache,
         cross_shard_edges=not args.isolate,
         vector_freeze_threshold=args.freeze,
+        echo_flush_interval=args.echo_interval,
     )
     records = generate_trace(args.trace, args.events, seed=args.seed)
     predict = not args.no_predict
@@ -157,9 +215,10 @@ def _run_service(args: argparse.Namespace) -> int:
         )
     print(
         f"sharded mining service on '{args.trace}' x{args.events} "
-        f"(policy={args.policy}, cross_shard_edges={not args.isolate}, "
+        f"(router={policy}, cross_shard_edges={not args.isolate}, "
         f"shared_sim_cache={not args.per_shard_cache}, "
-        f"freeze={args.freeze}, mode={mode})"
+        f"freeze={args.freeze}, echo_interval={args.echo_interval}, "
+        f"mode={mode})"
     )
     print(
         format_table(
@@ -175,7 +234,77 @@ def _run_service(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    if args.rebalance is not None:
+        from repro.service.sharded import ShardedFarmer
+
+        n_before = max(
+            (int(s) for s in args.shards.split(",") if s), default=4
+        )
+        service = ShardedFarmer(base.with_(n_shards=n_before)).mine(records)
+        report = service.rebalance(args.rebalance)
+        print(
+            f"\nrebalance {report.n_shards_before} -> "
+            f"{report.n_shards_after} shards ({report.policy}): migrated "
+            f"{report.n_migrated}/{report.n_owned} fids "
+            f"({report.moved_fraction:.1%}) in {report.elapsed_s * 1e3:.1f}ms "
+            f"— only owner-changed fids move; nothing is re-mined"
+        )
+    if args.mds is not None:
+        from repro.service.sharded import ShardedFarmer
+        from repro.storage.cluster import SimulationConfig, run_simulation
+        from repro.storage.prefetch import ShardedFarmerPrefetcher
+
+        def cluster_engine():
+            return ShardedFarmerPrefetcher(
+                ShardedFarmer(base.with_(n_shards=args.mds))
+            )
+
+        variants = [("drop", False)]
+        if args.routed_prefetch:
+            variants.append(("routed", True))
+        cluster_rows = []
+        for label, routed in variants:
+            rep = run_simulation(
+                records,
+                cluster_engine(),
+                SimulationConfig(
+                    n_mds=args.mds,
+                    cache_capacity=24,
+                    routed_prefetch=routed,
+                    seed=args.seed,
+                ),
+            )
+            cluster_rows.append(
+                (
+                    label,
+                    f"{rep.hit_ratio:.3f}",
+                    rep.prefetch_issued,
+                    rep.prefetch_used,
+                    rep.prefetch_forwarded,
+                    f"{rep.mean_response_ns / 1e3:.1f}",
+                )
+            )
+        print(
+            f"\ncluster simulation: {args.mds} metadata servers, one "
+            f"co-located miner shard each (cross-server candidates "
+            f"{'routed vs dropped' if args.routed_prefetch else 'dropped'})"
+        )
+        print(
+            format_table(
+                (
+                    "prefetch",
+                    "hit ratio",
+                    "issued",
+                    "used",
+                    "forwarded",
+                    "mean resp us",
+                ),
+                cluster_rows,
+            )
+        )
     if args.parallel:
+        import os
+
         from repro.service.harness import compare_parallel_mine
 
         backends = tuple(b for b in args.parallel.split(",") if b)
@@ -209,6 +338,14 @@ def _run_service(args: argparse.Namespace) -> int:
             "\nexecuted-parallel batch mine (wall clock, not modeled; "
             "sequential = ShardedFarmer.mine on one thread)"
         )
+        cores = os.cpu_count() or 1
+        if args.workers is not None and cores < args.workers:
+            print(
+                f"note: this machine has {cores} core(s) for "
+                f"{args.workers} requested workers — the parallel numbers "
+                f"below measure executor overhead, not speedup (see "
+                f"docs/benchmarks.md)"
+            )
         print(
             format_table(
                 (

@@ -446,6 +446,39 @@ class CoMiner:
             self._dirty.discard(fid)
 
     # ------------------------------------------------------------------
+    # migration (the shard-rebalancing seam)
+    # ------------------------------------------------------------------
+
+    def extract_state(self, fid: int) -> CorrelatorList | None:
+        """Detach everything this miner holds for ``fid`` and return its
+        Correlator List (``None`` if the file never grew one).
+
+        Used when a shard rebalance migrates the fid elsewhere: list,
+        re-rank stamps, ranked tick and dirty flag all leave with it —
+        call :meth:`flush_nodes` (or :meth:`flush_nodes_report`) first
+        if the shipped list must be freshly ranked.
+        """
+        self._dirty.discard(fid)
+        self._ranked_tick.pop(fid, None)
+        self._stamps.pop(fid, None)
+        return self._lists.pop(fid, None)
+
+    def adopt_migrated(self, fid: int, lst: CorrelatorList, tick: int) -> None:
+        """Install a list migrated from another shard as ``fid``'s
+        authoritative state: any halo list/stamps/dirty flag this miner
+        accumulated for the fid are discarded (the migrated list came
+        from the owner), and the ranked tick is pinned to ``tick`` (the
+        migrated graph node's change tick) so the next flush re-ranks
+        only if the node actually changes again. Stamps are dropped
+        rather than shipped — they are validated against live inputs, so
+        losing them costs a recomputation, never correctness.
+        """
+        self._lists[fid] = lst
+        self._ranked_tick[fid] = tick
+        self._stamps.pop(fid, None)
+        self._dirty.discard(fid)
+
+    # ------------------------------------------------------------------
     # op accounting
     # ------------------------------------------------------------------
 

@@ -82,8 +82,34 @@ class FarmerConfig:
             namespace across (1 = plain single-miner FARMER).
         shard_policy: namespace partitioning policy for the service
             router — "hash" (fid modulo, matches the HUSt cluster's MDS
-            partitioning) or "range" (contiguous fid blocks, preserves
-            directory locality).
+            partitioning), "range" (contiguous fid blocks, preserves
+            directory locality) or "consistent_hash" (a virtual-node
+            hash ring: changing the shard count moves only ~1/n of the
+            namespace, which is what makes ``ShardedFarmer.rebalance``
+            a minority migration instead of a full re-mine).
+        router_virtual_nodes: ring points per shard for the
+            "consistent_hash" policy (more points = smoother load
+            spread, larger routing table; ignored by other policies).
+        router_seed: deterministic seed for consistent-hash ring
+            placement. The ring hashes with a seeded SplitMix64 mix, so
+            two processes (or a remote client) reconstructing the
+            router from config route identically regardless of
+            ``PYTHONHASHSEED``.
+        echo_flush_interval: boundary-echo delivery schedule. Echoes
+            are always accumulated in per-destination-shard queues
+            rather than delivered synchronously with the triggering
+            request. 0 (default) drains a shard's queue just in time —
+            before the shard's next owned observation and before any
+            query routed to it — which is bit-for-bit equivalent to
+            the synchronous schedule (property-tested). A positive
+            value drains every ``echo_flush_interval`` accepted
+            requests instead (plus at every batch-``mine`` ingest
+            barrier and before queries), trading echo-edge window
+            fidelity for batching: an echo processed late attaches to
+            the destination shard's *current* window, so echoed-edge
+            LDA distances become approximate. Only meaningful under
+            ``lazy_reevaluation``; the eager schedule always delivers
+            echoes synchronously (it is the paper-literal reference).
         shared_sim_cache: if True (default), all shards of a
             ``ShardedFarmer`` share one thread-safe versioned similarity
             cache (safe because shards also share the vector store, so
@@ -118,6 +144,9 @@ class FarmerConfig:
     vector_freeze_threshold: int = 0
     n_shards: int = 1
     shard_policy: str = "hash"
+    router_virtual_nodes: int = 64
+    router_seed: int = 0
+    echo_flush_interval: int = 0
     shared_sim_cache: bool = True
     cross_shard_edges: bool = True
 
@@ -161,8 +190,12 @@ class FarmerConfig:
             raise ConfigError("vector_freeze_threshold must be >= 0")
         if self.n_shards < 1:
             raise ConfigError("n_shards must be >= 1")
-        if self.shard_policy not in ("hash", "range"):
+        if self.shard_policy not in ("hash", "range", "consistent_hash"):
             raise ConfigError(f"unknown shard policy {self.shard_policy!r}")
+        if self.router_virtual_nodes < 1:
+            raise ConfigError("router_virtual_nodes must be >= 1")
+        if self.echo_flush_interval < 0:
+            raise ConfigError("echo_flush_interval must be >= 0")
 
     def with_(self, **changes) -> "FarmerConfig":
         """Functional update (re-validates)."""

@@ -61,9 +61,17 @@ class Sorter:
         return pairs[:n]
 
     def snapshot(self) -> CorrelationSnapshot:
-        """Aggregate statistics of the current mining state."""
+        """Aggregate statistics of the current mining state.
+
+        Lists are folded in fid order so the float means are a pure
+        function of the list contents, not of dict insertion history —
+        this keeps a sharded service's owned-list snapshot comparable
+        bit-for-bit across shard layouts (see ``ShardedFarmer.snapshot``
+        and ``rebalance``).
+        """
         self._miner.flush_all()
-        lists = [lst for lst in self._miner.lists().values() if len(lst) > 0]
+        table = self._miner.lists()
+        lists = [table[fid] for fid in sorted(table) if len(table[fid]) > 0]
         if not lists:
             return CorrelationSnapshot(0, 0, 0.0, 0, 0.0)
         lengths = [len(lst) for lst in lists]

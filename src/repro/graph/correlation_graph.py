@@ -154,6 +154,28 @@ class CorrelationGraph:
         del node.successors[victim]
 
     # ------------------------------------------------------------------
+    # migration (the shard-rebalancing seam)
+    # ------------------------------------------------------------------
+
+    def pop_node(self, fid: int) -> NodeState | None:
+        """Detach and return a node (``None`` if absent).
+
+        The node object ships to another graph via :meth:`adopt_node`;
+        edges *into* the popped fid from other nodes are left behind (on
+        the source shard they become halo edges nobody queries). The
+        sliding window is not scrubbed: if the fid lingers there, a
+        subsequent observation recreates a fresh (halo) node, which is
+        exactly what happens to any foreign fid seen through the window.
+        """
+        return self._nodes.pop(fid, None)
+
+    def adopt_node(self, fid: int, node: NodeState) -> None:
+        """Install a node migrated from another graph, replacing any
+        halo node this graph accumulated for the fid (the migrated node
+        is the authoritative one — it came from the fid's owner)."""
+        self._nodes[fid] = node
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
 

@@ -21,13 +21,14 @@ from repro.service.harness import (
     replay_single,
 )
 from repro.service.router import (
+    ConsistentHashRouter,
     HashShardRouter,
     RangeShardRouter,
     ShardRouter,
     make_router,
 )
 from repro.service.runner import ParallelMineReport, ParallelShardRunner
-from repro.service.sharded import ShardedFarmer
+from repro.service.sharded import RebalanceReport, ShardedFarmer
 from repro.service.stats import (
     ServiceStats,
     combine_cache_stats,
@@ -42,12 +43,14 @@ __all__ = [
     "compare_single_vs_sharded",
     "replay_sharded",
     "replay_single",
+    "ConsistentHashRouter",
     "HashShardRouter",
     "RangeShardRouter",
     "ShardRouter",
     "make_router",
     "ParallelMineReport",
     "ParallelShardRunner",
+    "RebalanceReport",
     "ShardedFarmer",
     "ServiceStats",
     "combine_cache_stats",

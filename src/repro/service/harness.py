@@ -72,6 +72,7 @@ class ServiceComparison:
 
     @property
     def n_shards(self) -> int:
+        """Shard count of the measured configuration."""
         return len(self.timings)
 
     @property
@@ -129,7 +130,9 @@ def replay_sharded(
     """
     # intra-package use of the service's substream rule and counters:
     # the harness replays *for* the service, it is not a foreign caller
-    subs, accepted, prev = service._partition(records, service._prev_owner)
+    subs, accepted, prev, last_fid = service._partition(
+        records, service._prev_owner
+    )
     timings = []
     for index, (shard, sub) in enumerate(zip(service.shards, subs)):
         start = time.perf_counter()
@@ -148,9 +151,9 @@ def replay_sharded(
                 elapsed_s=time.perf_counter() - start,
             )
         )
-    service._n_observed += accepted
-    service._n_boundary_echoes += sum(len(s) for s in subs) - accepted
-    service._prev_owner = prev
+    service._absorb_stream_state(
+        accepted, sum(len(s) for s in subs), prev, last_fid
+    )
     return tuple(timings)
 
 

@@ -171,8 +171,12 @@ class ParallelShardRunner:
         service = self.service
         t0 = time.perf_counter()
         # intra-package use of the service's substream rule and stream
-        # accounting, exactly like the replay harness
-        subs, accepted, prev = service._partition(records, service._prev_owner)
+        # accounting, exactly like the replay harness (_partition also
+        # delivers any echoes still queued from a preceding stream and
+        # places this batch's echoes per the configured drain schedule)
+        subs, accepted, prev, last_fid = service._partition(
+            records, service._prev_owner
+        )
         t1 = time.perf_counter()
         work = [
             (shard, sub) for shard, sub in zip(service.shards, subs) if sub
@@ -205,10 +209,9 @@ class ParallelShardRunner:
             for (shard, _), fids, future in zip(work, fid_lists, futures):
                 shard.miner.adopt_ranked(future.result(), fids)
             t3 = time.perf_counter()
-        echoes = sum(len(s) for s in subs) - accepted
-        service._n_observed += accepted
-        service._n_boundary_echoes += echoes
-        service._prev_owner = prev
+        n_placed = sum(len(s) for s in subs)
+        echoes = n_placed - accepted
+        service._absorb_stream_state(accepted, n_placed, prev, last_fid)
         return ParallelMineReport(
             backend=self.backend,
             n_workers=self.n_workers,

@@ -27,8 +27,8 @@ Three components are deliberately *not* sharded:
   values are unservable by construction, which is what makes cross-shard
   reuse of Function-1 work safe without invalidation traffic.
 
-Cross-shard edges (``cross_shard_edges``)
------------------------------------------
+Cross-shard edges (``cross_shard_edges``) and batched echoes
+------------------------------------------------------------
 
 Partitioning the stream would silently drop correlations that straddle a
 shard boundary. When the immediate predecessor of a request was routed
@@ -45,13 +45,59 @@ Set ``cross_shard_edges=False`` for strict partition isolation — each
 shard then sees exactly its routed substream, and the service is
 bit-for-bit a set of independent per-shard Farmers.
 
+Echoes are not delivered synchronously with the triggering request:
+they accumulate in per-destination-shard queues (one append on the hot
+path — in a deployment the destination runs on another core and a
+synchronous echo would be a cross-shard call per boundary request).
+``FarmerConfig.echo_flush_interval`` picks the drain schedule:
+
+* ``0`` (default) — *just-in-time*: a shard's queue drains immediately
+  before its next owned observation and before any query routed to it.
+  Nothing can land on a shard between an echo's enqueue and that drain,
+  so the destination's sliding window is identical to the synchronous
+  schedule's and results are **bit-for-bit equivalent to synchronous
+  delivery** (property-tested) — the batching is free.
+* ``K > 0`` — *batched*: queues drain every K accepted requests, at
+  every batch-``mine`` ingest barrier, before any query routed to the
+  destination, and on an explicit :meth:`flush_echoes`. A late echo is
+  observed against the destination's window *at drain time*, so echoed
+  edges can attach to newer predecessors at compressed LDA distances.
+  The FPA lazy-query guarantee is re-stated accordingly: a query still
+  reflects every request *routed to* the owner shard (owned requests
+  plus all echoes enqueued to it, because the drain precedes the
+  query), but the echoed edges carry drain-time window geometry rather
+  than request-time geometry. ``n_shards=1``, strict isolation and all
+  owned-record mining are unaffected (echoes never exist or never
+  change meaning).
+
 Equivalence scope: with ``n_shards=1`` every entry point is bit-for-bit
 identical to a plain Farmer (property-tested on a 20k-record trace).
+
+Rebalancing (``rebalance``)
+---------------------------
+
+The router is swappable at runtime: :meth:`ShardedFarmer.rebalance`
+installs a new topology (different shard count, different policy, or
+new consistent-hash weights) and migrates **only the fids whose owner
+changed** — each moved fid's graph node and freshly-ranked Correlator
+List ship from the old owner to the new one through the same
+serialization seam the process-backend runner uses
+(:meth:`~repro.core.cominer.CoMiner.flush_nodes_report` /
+``adopt_migrated``); nothing is re-mined. The shared vocabulary, vector
+store and similarity cache are namespace-global and never move.
+Pre-rebalance query results are preserved verbatim (the migrated list
+is the list the old owner would have served), and with ``window=1`` —
+the regime where boundary echoes capture the cross-shard edge set
+exactly — a mined-then-rebalanced service is bit-for-bit identical to a
+service freshly mined at the new topology (both property-tested).
 """
 
 from __future__ import annotations
 
+import time
+from collections import deque
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
 
 from repro.core.config import FarmerConfig
 from repro.core.extractor import Extractor
@@ -66,7 +112,25 @@ from repro.service.stats import ServiceStats, combine_cache_stats
 from repro.traces.record import TraceRecord
 from repro.vsm.vocabulary import ThreadSafeVocabulary
 
-__all__ = ["ShardedFarmer"]
+__all__ = ["ShardedFarmer", "RebalanceReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class RebalanceReport:
+    """What one :meth:`ShardedFarmer.rebalance` call did."""
+
+    n_shards_before: int
+    n_shards_after: int
+    policy: str
+    n_owned: int  # fids owned across all shards when the call started
+    n_migrated: int  # fids whose owner changed (node + list shipped)
+    elapsed_s: float
+
+    @property
+    def moved_fraction(self) -> float:
+        """Migrated share of the namespace (consistent hashing's point:
+        ~1/n per added shard instead of modulo's near-total reshuffle)."""
+        return self.n_migrated / self.n_owned if self.n_owned else 0.0
 
 
 class ShardedFarmer:
@@ -84,7 +148,12 @@ class ShardedFarmer:
         self.config = config if config is not None else FarmerConfig()
         n = self.config.n_shards
         if router is None:
-            router = make_router(self.config.shard_policy, n)
+            router = make_router(
+                self.config.shard_policy,
+                n,
+                virtual_nodes=self.config.router_virtual_nodes,
+                seed=self.config.router_seed,
+            )
         elif router.n_shards != n:
             raise ConfigError(
                 f"router has {router.n_shards} shards, config wants {n}"
@@ -114,8 +183,14 @@ class ShardedFarmer:
             for _ in range(n)
         )
         self._prev_owner: int | None = None
+        self._prev_fid: int | None = None
+        self._echo_queues: list[deque[TraceRecord]] = [deque() for _ in range(n)]
+        self._since_echo_flush = 0
         self._n_observed = 0
         self._n_boundary_echoes = 0
+        self._n_echo_flushes = 0
+        self._n_rebalances = 0
+        self._n_migrated_fids = 0
 
     # ------------------------------------------------------------------
     # routing
@@ -126,62 +201,147 @@ class ShardedFarmer:
         return self.router.route(fid)
 
     def shard_for(self, fid: int) -> Farmer:
-        """Owning shard of ``fid`` (queries go to the owner only)."""
-        return self.shards[self.router.route(fid)]
+        """Owning shard of ``fid``, with its pending boundary echoes
+        drained first (queries go to the owner only, and a query must
+        reflect every request already routed to that owner)."""
+        owner = self.router.route(fid)
+        self._drain_shard(owner)
+        return self.shards[owner]
+
+    # ------------------------------------------------------------------
+    # boundary-echo queues
+    # ------------------------------------------------------------------
+
+    def _drain_shard(self, index: int) -> None:
+        """Deliver shard ``index``'s queued boundary echoes (FIFO)."""
+        queue = self._echo_queues[index]
+        if not queue:
+            return
+        observe_echo = self.shards[index].observe_echo
+        while queue:
+            observe_echo(queue.popleft())
+        self._n_echo_flushes += 1
+
+    def flush_echoes(self) -> None:
+        """Drain every shard's boundary-echo queue (FIFO per shard).
+
+        Called automatically at the batch-``mine`` ingest barrier,
+        before queries (owner shard only), on interval expiry under
+        ``echo_flush_interval > 0``, and at the start of a rebalance;
+        public so a deployment can force delivery at its own sync
+        points.
+        """
+        for index in range(len(self.shards)):
+            self._drain_shard(index)
+        self._since_echo_flush = 0
+
+    @property
+    def n_pending_echoes(self) -> int:
+        """Boundary echoes currently queued and not yet delivered."""
+        return sum(len(q) for q in self._echo_queues)
+
+    def _enqueue_echo(self, prev: int, record: TraceRecord) -> None:
+        """Queue a boundary echo for the predecessor's shard.
+
+        Under the eager schedule (``lazy_reevaluation=False``) the echo
+        is delivered synchronously instead — the eager path ranks
+        entries at observation time, so deferring delivery would rank
+        echoed edges against later vector state and silently diverge
+        from the paper-literal reference.
+        """
+        self._n_boundary_echoes += 1
+        if not self.config.lazy_reevaluation:
+            self.shards[prev].observe_echo(record)
+            return
+        self._echo_queues[prev].append(record)
 
     # ------------------------------------------------------------------
     # mining
     # ------------------------------------------------------------------
 
     def observe(self, record: TraceRecord) -> None:
-        """Route one request to its owner shard (and, for a boundary
-        request under ``cross_shard_edges``, echo it to the predecessor's
-        shard so the inter-shard edge is mined)."""
+        """Route one request to its owner shard; a boundary request
+        under ``cross_shard_edges`` is additionally queued as an echo
+        for the predecessor's shard (see the module docstring for the
+        drain schedule)."""
         if (
             self.config.op_filter is not None
             and record.op not in self.config.op_filter
         ):
             return
         owner = self.router.route(record.fid)
+        interval = self.config.echo_flush_interval
+        if interval == 0:
+            # just-in-time drain: queued echoes land before the next
+            # owned observation, preserving the synchronous window
+            # geometry bit-for-bit
+            self._drain_shard(owner)
         self.shards[owner].observe(record)
         prev = self._prev_owner
         if self.config.cross_shard_edges and prev is not None and prev != owner:
             # the owner just folded the record into the shared vector
             # store, so the echo pays only graph/list work on prev
-            self.shards[prev].observe_echo(record)
-            self._n_boundary_echoes += 1
+            self._enqueue_echo(prev, record)
         self._prev_owner = owner
+        self._prev_fid = record.fid
         self._n_observed += 1
+        if interval > 0:
+            self._since_echo_flush += 1
+            if self._since_echo_flush >= interval:
+                self.flush_echoes()
 
     def _partition(
-        self, records: Iterable[TraceRecord], prev: int | None
-    ) -> tuple[list[list[tuple[TraceRecord, bool]]], int, int | None]:
+        self,
+        records: Iterable[TraceRecord],
+        prev: int | None,
+        drain: bool = True,
+    ) -> tuple[list[list[tuple[TraceRecord, bool]]], int, int | None, int | None]:
         """The one place the owner/echo substream rule lives.
 
-        Returns ``(subs, n_accepted, last_owner)`` where ``subs[i]`` is
-        shard *i*'s substream of ``(record, is_echo)`` pairs: the
-        records it owns plus, under ``cross_shard_edges``, the boundary
-        requests echoed to it. ``prev`` seeds the boundary detection
-        (pass the live ``_prev_owner`` to continue a stream, ``None``
-        for a standalone split).
+        Returns ``(subs, n_accepted, last_owner, last_fid)`` where
+        ``subs[i]`` is shard *i*'s substream of ``(record, is_echo)``
+        pairs: the records it owns plus, under ``cross_shard_edges``,
+        the boundary requests echoed to it. ``prev`` seeds the boundary
+        detection (pass the live ``_prev_owner`` to continue a stream,
+        ``None`` for a standalone split).
+
+        Echo placement follows the configured drain schedule: at
+        ``echo_flush_interval == 0`` echoes sit inline in the
+        destination's substream (the just-in-time order — bit-identical
+        to synchronous delivery); at ``K > 0`` they are appended after
+        the destination's owned records, which is exactly the batch
+        schedule's ingest-barrier drain. With ``drain`` (the live-stream
+        paths: ``mine``, the replay harness, the parallel runner), any
+        echoes still queued from a preceding ``observe`` stream are
+        delivered first so the substreams start from drained state;
+        ``drain=False`` keeps the call side-effect-free (the standalone
+        :meth:`partition` split).
         """
-        subs: list[list[tuple[TraceRecord, bool]]] = [
-            [] for _ in range(self.config.n_shards)
-        ]
+        if drain:
+            self.flush_echoes()
+        n = self.config.n_shards
+        subs: list[list[tuple[TraceRecord, bool]]] = [[] for _ in range(n)]
+        batched = self.config.lazy_reevaluation and self.config.echo_flush_interval > 0
+        tails: list[list[tuple[TraceRecord, bool]]] = [[] for _ in range(n)]
         op_filter = self.config.op_filter
         cross = self.config.cross_shard_edges
         route = self.router.route
         accepted = 0
+        last_fid = None
         for record in records:
             if op_filter is not None and record.op not in op_filter:
                 continue
             owner = route(record.fid)
             subs[owner].append((record, False))
             if cross and prev is not None and prev != owner:
-                subs[prev].append((record, True))
+                (tails if batched else subs)[prev].append((record, True))
             prev = owner
+            last_fid = record.fid
             accepted += 1
-        return subs, accepted, prev
+        if batched:
+            for sub, tail in zip(subs, tails):
+                sub.extend(tail)
+        return subs, accepted, prev, last_fid
 
     def partition(
         self, records: Iterable[TraceRecord]
@@ -196,8 +356,24 @@ class ShardedFarmer:
         enabled the substreams interleave shared-vector updates in a
         different order, so eagerly-refreshed edge degrees can differ
         transiently until the next query re-ranks the list.
+
+        Side-effect-free: echoes already queued on the live service are
+        left queued (and are not part of the returned split) — only the
+        live-stream entry points (``mine``, the harness, the runner)
+        drain before partitioning.
         """
-        return self._partition(records, None)[0]
+        return self._partition(records, None, drain=False)[0]
+
+    def _absorb_stream_state(
+        self, accepted: int, n_placed: int, prev: int | None, last_fid: int | None
+    ) -> None:
+        """Fold one partitioned batch into the stream accounting
+        (``n_placed`` is the total substream length including echoes)."""
+        self._n_observed += accepted
+        self._n_boundary_echoes += n_placed - accepted
+        self._prev_owner = prev
+        if last_fid is not None:
+            self._prev_fid = last_fid
 
     def mine(self, records: Sequence[TraceRecord]) -> "ShardedFarmer":
         """Batch-mine a trace shard by shard; returns self for chaining.
@@ -208,12 +384,16 @@ class ShardedFarmer:
         shards: flushing shard by shard would rank them against whatever
         vector prefix happened to be ingested, while the barrier ranks
         everything against the end-of-batch state — the same guarantee
-        ``Farmer.mine`` gives a single miner.
+        ``Farmer.mine`` gives a single miner. Queued boundary echoes
+        are delivered within the ingest phase (inline at
+        ``echo_flush_interval == 0``, appended at the barrier under a
+        positive interval), so the flush never ranks a list that is
+        missing an enqueued echo.
         """
-        subs, accepted, prev = self._partition(records, self._prev_owner)
-        self._n_observed += accepted
-        self._n_boundary_echoes += sum(len(s) for s in subs) - accepted
-        self._prev_owner = prev
+        subs, accepted, prev, last_fid = self._partition(records, self._prev_owner)
+        self._absorb_stream_state(
+            accepted, sum(len(s) for s in subs), prev, last_fid
+        )
         if not self.config.lazy_reevaluation:
             for shard, sub in zip(self.shards, subs):
                 if sub:
@@ -254,10 +434,13 @@ class ShardedFarmer:
     # ------------------------------------------------------------------
 
     def flush_shard(self, index: int) -> None:
-        """Re-rank shard ``index``'s *owned* dirty lists. Halo lists
-        (foreign fids left dirty by boundary echoes) stay lazy — queries
-        route to the owner shard, so ranking them is work nobody reads.
+        """Re-rank shard ``index``'s *owned* dirty lists (pending
+        boundary echoes are delivered first so nothing enqueued is
+        missing from the ranked state). Halo lists (foreign fids left
+        dirty by boundary echoes) stay lazy — queries route to the
+        owner shard, so ranking them is work nobody reads.
         """
+        self._drain_shard(index)
         shard = self.shards[index]
         route = self.router.route
         shard.miner.flush_nodes(
@@ -271,18 +454,22 @@ class ShardedFarmer:
         (the echo's by-product); only the owner shard's authoritative
         list is counted, so ``n_shards=1`` matches ``Farmer.snapshot``
         exactly and multi-shard numbers are not inflated by halo state.
+        Aggregation runs in fid order, so the float means are identical
+        for any shard layout holding the same owned lists (rebalancing
+        must not perturb the snapshot by summation order alone).
         """
         route = self.router.route
-        lengths: list[int] = []
-        tops: list[float] = []
+        per_fid: dict[int, tuple[int, float]] = {}
         for index, shard in enumerate(self.shards):
             self.flush_shard(index)
             for fid, lst in shard.miner.lists().items():
                 if len(lst) > 0 and route(fid) == index:
-                    lengths.append(len(lst))
-                    tops.append(lst.top(1)[0].degree)
-        if not lengths:
+                    per_fid[fid] = (len(lst), lst.top(1)[0].degree)
+        if not per_fid:
             return CorrelationSnapshot(0, 0, 0.0, 0, 0.0)
+        ordered = [per_fid[fid] for fid in sorted(per_fid)]
+        lengths = [length for length, _ in ordered]
+        tops = [top for _, top in ordered]
         return CorrelationSnapshot(
             n_lists=len(lengths),
             n_entries=sum(lengths),
@@ -301,7 +488,9 @@ class ShardedFarmer:
         )
 
     def memory_bytes(self) -> int:
-        """Total footprint; shared components are counted exactly once."""
+        """Total footprint; shared components are counted exactly once.
+        Queued-but-undelivered echoes are transport, not mining state,
+        and are not counted (the records are owned by the trace)."""
         total = self.vocabulary.approx_bytes() + self.vector_store.approx_bytes()
         if self.sim_cache is not None:
             total += self.sim_cache.approx_bytes()
@@ -316,11 +505,22 @@ class ShardedFarmer:
 
     @property
     def n_boundary_echoes(self) -> int:
-        """Boundary requests echoed to the predecessor's shard."""
+        """Boundary requests echoed to the predecessor's shard
+        (enqueued; see :attr:`n_pending_echoes` for undelivered ones)."""
         return self._n_boundary_echoes
 
+    @property
+    def n_echo_flushes(self) -> int:
+        """Echo-queue drain operations performed so far (each drain
+        delivers a whole per-shard queue — the batching win is echoes
+        per drain, not fewer echoes)."""
+        return self._n_echo_flushes
+
     def stats(self) -> ServiceStats:
-        """Aggregated per-shard stats, cache counters and memory."""
+        """Aggregated per-shard stats, cache counters and memory
+        (pending echoes are delivered first so every counter reflects
+        the full routed stream)."""
+        self.flush_echoes()
         return ServiceStats(
             n_shards=self.config.n_shards,
             n_observed=self._n_observed,
@@ -328,4 +528,171 @@ class ShardedFarmer:
             shards=tuple(shard.stats() for shard in self.shards),
             sim_cache=self.sim_cache_stats(),
             memory_bytes=self.memory_bytes(),
+            n_echo_flushes=self._n_echo_flushes,
+            n_rebalances=self._n_rebalances,
+            n_migrated_fids=self._n_migrated_fids,
+        )
+
+    # ------------------------------------------------------------------
+    # rebalancing
+    # ------------------------------------------------------------------
+
+    def rebalance(
+        self,
+        n_shards: int | None = None,
+        *,
+        policy: str | None = None,
+        weights: Sequence[float] | None = None,
+        router: ShardRouter | None = None,
+    ) -> RebalanceReport:
+        """Install a new topology and migrate only the fids that moved.
+
+        Args:
+            n_shards: new shard count (default: keep the current count).
+            policy: new router policy (``"hash"`` / ``"range"`` /
+                ``"consistent_hash"``; default: keep the current one).
+            weights: per-shard weights for the consistent-hash ring
+                (need not sum to 1; a zero empties that shard's slice).
+                Default: keep the current ring's weights. If the
+                current ring has explicit weights and the shard count
+                changes, matching-length weights must be passed — a
+                silent reset to uniform would re-populate a
+                deliberately drained shard.
+            router: an explicit pre-built router — overrides ``policy``
+                / ``weights`` and must agree with the final shard count.
+
+        Returns:
+            A :class:`RebalanceReport` (how much of the namespace
+            moved, and how long migration took).
+
+        Migration semantics: pending echoes are delivered first; every
+        fid whose owner changed has its graph node and freshly-ranked
+        Correlator List shipped from the old owner to the new one
+        (`CoMiner.flush_nodes_report` ranks, ``extract_state`` /
+        ``adopt_migrated`` move — the same serialization seam the
+        process-backend runner uses), so no re-mining happens and
+        post-rebalance queries serve exactly the lists the old owners
+        would have served. Shards beyond a shrunken count are dropped
+        after their fids migrate out; new shards join sharing the same
+        vocabulary, vector store and similarity cache. Halo state left
+        behind on old shards (echo by-products for fids that moved) is
+        unreachable through queries and is reclaimed as those graphs
+        evolve.
+
+        Equivalence scope: pre-rebalance query results are preserved
+        verbatim for every fid; with ``window=1`` (boundary echoes then
+        capture the cross-shard edge set exactly) a mined-then-
+        rebalanced service is bit-identical to one freshly mined at the
+        new topology. For wider windows, echoed deep-window edges are
+        topology-dependent, so the from-scratch comparison is
+        approximate while query preservation still holds exactly.
+        """
+        start = time.perf_counter()
+        old_n = len(self.shards)
+        new_n = n_shards if n_shards is not None else old_n
+        if router is not None:
+            if router.n_shards != new_n:
+                raise ConfigError(
+                    f"router has {router.n_shards} shards, rebalance wants {new_n}"
+                )
+            new_policy = policy if policy is not None else self.config.shard_policy
+        else:
+            new_policy = policy if policy is not None else self.config.shard_policy
+            if weights is not None and new_policy != "consistent_hash":
+                raise ConfigError(
+                    "per-shard weights require the consistent_hash policy"
+                )
+            # like n_shards and policy, explicit ring weights default to
+            # "keep current" — silently rebuilding a uniform ring would
+            # re-populate a shard an operator deliberately drained
+            current_weights = getattr(self.router, "weights", None)
+            if (
+                weights is None
+                and current_weights is not None
+                and new_policy == "consistent_hash"
+            ):
+                if new_n == len(current_weights):
+                    weights = current_weights
+                else:
+                    raise ConfigError(
+                        "the current consistent-hash router has explicit "
+                        f"per-shard weights ({len(current_weights)} shards); "
+                        f"rebalancing to {new_n} shards needs weights= of "
+                        "matching length (carrying the old ones over would "
+                        "silently re-weight the ring)"
+                    )
+            router = make_router(
+                new_policy,
+                new_n,
+                virtual_nodes=self.config.router_virtual_nodes,
+                seed=self.config.router_seed,
+                weights=weights,
+            )
+        # deliver everything queued under the old topology first: an
+        # echo re-routed after the switch would land on the wrong shard
+        self.flush_echoes()
+        if new_n > old_n:
+            shards = list(self.shards)
+            shards.extend(
+                Farmer(
+                    self.config,
+                    vocabulary=self.vocabulary,
+                    vector_store=self.vector_store,
+                    sim_cache=self.sim_cache,
+                )
+                for _ in range(new_n - old_n)
+            )
+            self.shards = tuple(shards)
+            self._echo_queues.extend(deque() for _ in range(new_n - old_n))
+        old_route = self.router.route
+        n_owned = 0
+        n_migrated = 0
+        for index, shard in enumerate(self.shards):
+            # owned fids only: halo nodes (echo by-products) are not
+            # authoritative and must not overwrite the owner's state
+            owned = [
+                fid
+                for fid in shard.constructor.graph.nodes()
+                if old_route(fid) == index
+            ]
+            n_owned += len(owned)
+            moved = [fid for fid in owned if router.route(fid) != index]
+            if not moved:
+                continue
+            moved.sort()
+            # rank at the source so the shipped list is exactly what
+            # the old owner would have served (flush_nodes_report skips
+            # tick-unchanged lists; those are already ranked)
+            ranked = shard.miner.flush_nodes_report(moved)
+            graph = shard.constructor.graph
+            for fid in moved:
+                node = graph.pop_node(fid)
+                lst = shard.miner.extract_state(fid)
+                lst = ranked.get(fid, lst)
+                dest = self.shards[router.route(fid)]
+                if node is not None:
+                    dest.constructor.graph.adopt_node(fid, node)
+                if lst is not None:
+                    dest.miner.adopt_migrated(
+                        fid, lst, node.change_tick if node is not None else 0
+                    )
+            n_migrated += len(moved)
+        if new_n < old_n:
+            self.shards = self.shards[:new_n]
+            del self._echo_queues[new_n:]
+        self.router = router
+        self.config = self.config.with_(n_shards=new_n, shard_policy=new_policy)
+        # re-seed boundary detection under the new topology, exactly as
+        # a from-scratch service would have routed the last request
+        if self._prev_fid is not None:
+            self._prev_owner = router.route(self._prev_fid)
+        self._n_rebalances += 1
+        self._n_migrated_fids += n_migrated
+        return RebalanceReport(
+            n_shards_before=old_n,
+            n_shards_after=new_n,
+            policy=new_policy,
+            n_owned=n_owned,
+            n_migrated=n_migrated,
+            elapsed_s=time.perf_counter() - start,
         )

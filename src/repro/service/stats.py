@@ -72,6 +72,12 @@ class ServiceStats:
             cache's, or the per-shard caches summed).
         memory_bytes: total footprint with shared components (vocabulary,
             vector store, shared cache) counted exactly once.
+        n_echo_flushes: echo-queue drain operations performed (each
+            drain delivers one shard's whole queue; the batching win is
+            echoes amortized per drain, not fewer echoes).
+        n_rebalances: topology changes applied via ``rebalance()``.
+        n_migrated_fids: fids whose graph node + ranked list were
+            shipped between shards across all rebalances.
     """
 
     n_shards: int
@@ -80,6 +86,9 @@ class ServiceStats:
     shards: tuple[FarmerStats, ...]
     sim_cache: SimCacheStats
     memory_bytes: int
+    n_echo_flushes: int = 0
+    n_rebalances: int = 0
+    n_migrated_fids: int = 0
 
     @property
     def memory_megabytes(self) -> float:

@@ -10,7 +10,10 @@ prefetch engine is shared by default, as in HUSt's architecture
 :class:`~repro.storage.prefetch.ShardedFarmerPrefetcher`) is split so
 each MDS drives its co-located miner shard instead of the single global
 engine, and its prefetch candidates are filtered to the fids that MDS
-actually stores.
+actually stores. With ``SimulationConfig.routed_prefetch`` the non-local
+candidates are not dropped but forwarded to the owning server's prefetch
+queue (bounded per request by ``forward_budget``), capturing the
+remaining cross-shard prefetch benefit.
 """
 
 from __future__ import annotations
@@ -34,7 +37,26 @@ __all__ = ["SimulationConfig", "HustCluster", "run_simulation"]
 
 @dataclass(frozen=True, slots=True)
 class SimulationConfig:
-    """Cluster-level simulation knobs."""
+    """Cluster-level simulation knobs.
+
+    Attributes:
+        cache_capacity: per-MDS metadata-cache entries.
+        prefetch_limit: per-MDS prefetch-queue bound (overflow drops the
+            newest speculative request).
+        latency: the service-time model every request is charged with.
+        n_mds: metadata servers; fids partition by ``fid % n_mds``.
+        time_scale: trace inter-arrival scaling (< 1 compresses time).
+        seed: RNG seed for latency jitter.
+        routed_prefetch: if True (and ``n_mds > 1``), an MDS forwards
+            prefetch candidates stored on another server to *that*
+            server's prefetch queue instead of dropping them — the
+            owner loads its own cache, where the future demand will
+            look. Requires an engine exposing ``partition_candidates``
+            (the sharded service's per-MDS views do).
+        forward_budget: max candidates forwarded per completed demand
+            request (bounds the cross-server control traffic the same
+            way ``prefetch_limit`` bounds the speculative load).
+    """
 
     cache_capacity: int = 256
     prefetch_limit: int = 64
@@ -42,6 +64,8 @@ class SimulationConfig:
     n_mds: int = 1
     time_scale: float = 1.0
     seed: int = 0
+    routed_prefetch: bool = False
+    forward_budget: int = 4
 
     def __post_init__(self) -> None:
         if self.cache_capacity < 1:
@@ -52,6 +76,8 @@ class SimulationConfig:
             raise ConfigError("n_mds must be >= 1")
         if self.time_scale <= 0:
             raise ConfigError("time_scale must be positive")
+        if self.forward_budget < 0:
+            raise ConfigError("forward_budget must be >= 0")
 
 
 def _metadata_value(record: TraceRecord) -> dict:
@@ -89,9 +115,17 @@ class HustCluster:
                 prefetch_limit=config.prefetch_limit,
                 rng=jitter_rng,
                 name=f"mds{i}",
+                forward_budget=(
+                    config.forward_budget if config.routed_prefetch else 0
+                ),
             )
             for i in range(config.n_mds)
         ]
+        if config.routed_prefetch and config.n_mds > 1:
+            # peers[i] stores the fids with fid % n_mds == i, matching
+            # route(); forwarding needs every server to reach the owner
+            for server in self.servers:
+                server.peers = self.servers
 
     def _engine_for(self, server_index: int) -> PrefetchEngine:
         """The prefetch engine MDS ``server_index`` drives: a per-shard

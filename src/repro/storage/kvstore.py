@@ -34,6 +34,7 @@ class _Node:
 
     @property
     def leaf(self) -> bool:
+        """True when the node has no children (bottom of the tree)."""
         return self.children is None
 
 

@@ -7,6 +7,15 @@ lookup plus a KV fetch (miss); on completion the prefetch engine observes
 the request and may enqueue speculative loads, which the server performs
 whenever no demand is waiting. All service time is charged through the
 latency model, including the miner's per-request overhead.
+
+Cluster-routed prefetch: when the cluster wires ``peers`` and a positive
+``forward_budget``, candidates owned by another server are forwarded to
+that server's prefetch queue (via :meth:`MetadataServer.
+accept_forwarded_prefetch`) instead of dropped — the owner performs the
+speculative load into *its* cache, where the future demand request will
+actually look. Forwards are bounded per request and counted in
+``prefetch_forwarded``; they respect the owner's queue limit and dedup
+exactly like locally-issued prefetches.
 """
 
 from __future__ import annotations
@@ -40,6 +49,7 @@ class MetadataServer:
         prefetch_limit: int = 64,
         rng: np.random.Generator | None = None,
         name: str = "mds0",
+        forward_budget: int = 0,
     ) -> None:
         self.name = name
         self.engine = engine
@@ -51,6 +61,10 @@ class MetadataServer:
         self.cache = LRUCache(cache_capacity, on_evict=self._on_evict)
         self._rng = rng
         self._busy = False
+        self.forward_budget = forward_budget
+        # wired by the cluster when routed prefetch is on: peers[i] is
+        # the MDS storing the fids with `fid % n_mds == i`
+        self.peers: list["MetadataServer"] | None = None
 
     # ------------------------------------------------------------------
     # submission
@@ -114,7 +128,13 @@ class MetadataServer:
         self._maybe_start()
 
     def _issue_prefetches(self, request: MetadataRequest) -> None:
-        for fid in self.prefetcher.candidates(request.record):
+        remote: list[tuple[int, int]] = []
+        partition = getattr(self.prefetcher, "partition_candidates", None)
+        if self.peers is not None and self.forward_budget > 0 and callable(partition):
+            local, remote = partition(request.record)
+        else:
+            local = self.prefetcher.candidates(request.record)
+        for fid in local:
             if fid == request.fid:
                 continue
             if self.cache.peek(fid) is not None:
@@ -128,6 +148,34 @@ class MetadataServer:
                 self.metrics.prefetch_issued += 1
             else:
                 self.metrics.prefetch_dropped += 1
+        # the budget bounds cross-server messages (attempts), not just
+        # accepted forwards — a rejected forward still costs traffic
+        for fid, owner in remote[: self.forward_budget]:
+            self.peers[owner].accept_forwarded_prefetch(fid)
+
+    def accept_forwarded_prefetch(self, fid: int) -> bool:
+        """Enqueue a prefetch forwarded by a peer MDS.
+
+        Same dedup and queue-bound rules as a locally-issued prefetch;
+        returns True when the request was enqueued (it then counts
+        toward both ``prefetch_issued`` and ``prefetch_forwarded``),
+        False when it was redundant (already cached/queued here) or the
+        prefetch queue overflowed (counted as a drop).
+        """
+        if self.cache.peek(fid) is not None:
+            return False
+        if self.queue.has_queued_prefetch(fid):
+            return False
+        pf = MetadataRequest(
+            fid=fid, kind=RequestKind.PREFETCH, arrival_ns=self.engine.now
+        )
+        if not self.queue.push(pf):
+            self.metrics.prefetch_dropped += 1
+            return False
+        self.metrics.prefetch_issued += 1
+        self.metrics.prefetch_forwarded += 1
+        self._maybe_start()
+        return True
 
     def _start_prefetch(self, request: MetadataRequest) -> None:
         service = self.latency.prefetch_service_ns(self._rng)

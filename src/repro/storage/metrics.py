@@ -6,7 +6,10 @@
   accuracy discussion);
 * **average response time** — demand arrival→completion (Figures 6, 8);
 * server utilisation, queue statistics and FARMER's memory overhead
-  (Table 4).
+  (Table 4);
+* **forwarded prefetches** — cross-server candidates routed to the
+  owning MDS's queue instead of dropped (the cluster-routed prefetch
+  extension; ``prefetch_forwarded`` is a subset of ``prefetch_issued``).
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ class SimulationReport:
     server_busy_ns: int
     makespan_ns: int
     miner_memory_bytes: int = 0
+    prefetch_forwarded: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -78,6 +82,7 @@ class MetricsCollector:
         self.prefetch_dropped = 0
         self.prefetch_used = 0
         self.prefetch_wasted = 0
+        self.prefetch_forwarded = 0
         self.server_busy_ns = 0
         self.makespan_ns = 0
         self._response = OnlineStats()
@@ -116,4 +121,5 @@ class MetricsCollector:
             server_busy_ns=self.server_busy_ns,
             makespan_ns=self.makespan_ns,
             miner_memory_bytes=miner_memory_bytes,
+            prefetch_forwarded=self.prefetch_forwarded,
         )

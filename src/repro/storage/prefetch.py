@@ -133,7 +133,15 @@ class ShardedFarmerPrefetcher:
 
 
 class MdsShardView:
-    """One metadata server's view of the sharded mining service."""
+    """One metadata server's view of the sharded mining service.
+
+    :meth:`candidates` keeps the drop semantics (local fids only — a
+    foreign candidate queued locally could only fizzle against the
+    local KV shard). :meth:`partition_candidates` additionally exposes
+    the non-local candidates with their owning server, which is what
+    the cluster-routed prefetch path forwards to the owner's queue
+    instead of dropping (``SimulationConfig.routed_prefetch``).
+    """
 
     __slots__ = ("parent", "server_index", "n_servers", "overhead_ns")
 
@@ -154,11 +162,27 @@ class MdsShardView:
     def candidates(self, record: TraceRecord) -> list[int]:
         """Service predictions restricted to fids this MDS stores
         (the cluster routes metadata by ``fid % n_mds``)."""
-        return [
-            fid
-            for fid in self.parent.service.predict(record.fid)
-            if fid % self.n_servers == self.server_index
-        ]
+        return self.partition_candidates(record)[0]
+
+    def partition_candidates(
+        self, record: TraceRecord
+    ) -> tuple[list[int], list[tuple[int, int]]]:
+        """Split the service's predictions into ``(local, remote)``.
+
+        ``local`` is exactly what :meth:`candidates` returns; ``remote``
+        pairs each non-local candidate with the index of the MDS that
+        stores it (strongest-first order is preserved in both, so a
+        bounded forward budget spends itself on the best candidates).
+        """
+        local: list[int] = []
+        remote: list[tuple[int, int]] = []
+        for fid in self.parent.service.predict(record.fid):
+            owner = fid % self.n_servers
+            if owner == self.server_index:
+                local.append(fid)
+            else:
+                remote.append((fid, owner))
+        return local, remote
 
     def memory_bytes(self) -> int:
         """This server's share of the service footprint (the whole

@@ -181,3 +181,15 @@ class TestServiceExperiment:
             assert sharded["hit_ratio"] >= global_["hit_ratio"] - 0.02
         assert "global@1" in result.data
         assert result.render()
+
+    def test_routed_prefetch_beats_candidate_drop(self):
+        """Acceptance: forwarding cross-server candidates to the owning
+        MDS yields a strictly higher hit ratio than dropping them, at
+        the same per-request candidate budget and queue limits."""
+        result = service_experiment.run(n_events=2500, seeds=(1,))
+        for n_mds in (2, 4):
+            routed = result.data[f"routed@{n_mds}"]
+            sharded = result.data[f"sharded@{n_mds}"]
+            assert routed["hit_ratio"] > sharded["hit_ratio"]
+            assert routed["forwarded"] > 0
+            assert sharded["forwarded"] == 0

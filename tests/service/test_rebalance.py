@@ -1,0 +1,218 @@
+"""``ShardedFarmer.rebalance``: migration semantics and equivalences.
+
+Two load-bearing properties (ISSUE 4 acceptance):
+
+* **query preservation** — for any window and any trace, a rebalance
+  serves exactly the lists the old owners would have served (migration
+  ships ranked state, it never re-mines);
+* **from-scratch bit-identity at window=1** — with ``window=1`` the
+  boundary-echo mechanism captures the cross-shard edge set exactly
+  (every adjacent pair lands on the predecessor's owner shard before
+  anything else can), so each owner node's successor multiset equals
+  the global adjacent multiset *independent of topology*. A
+  mined-then-rebalanced service is therefore bit-for-bit identical to a
+  service freshly mined at the new topology, over a 20k-record trace,
+  for policy changes (hash → consistent_hash) and shard-count changes
+  (grow and shrink). Wider windows make echoed deep-window edges
+  topology-dependent, which is why the scope is stated this way (see
+  docs/equivalence.md).
+"""
+
+import pytest
+
+from repro.core.config import FarmerConfig
+from repro.errors import ConfigError
+from repro.service.router import ConsistentHashRouter, HashShardRouter
+from repro.service.sharded import ShardedFarmer
+from repro.traces.synthetic import generate_trace
+
+
+def owned_fids(service: ShardedFarmer) -> set[int]:
+    """Every fid with graph state, deduplicated across shards."""
+    out: set[int] = set()
+    for shard in service.shards:
+        out.update(shard.constructor.graph.nodes())
+    return out
+
+
+def query_map(service: ShardedFarmer, fids) -> dict:
+    """correlators + predict for every fid (forces dirty re-ranks)."""
+    return {
+        fid: (service.correlators(fid), service.predict(fid))
+        for fid in sorted(fids)
+    }
+
+
+class TestQueryPreservation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(policy="consistent_hash"),
+            dict(n_shards=6),
+            dict(n_shards=2),
+            dict(n_shards=3, policy="consistent_hash"),
+        ],
+    )
+    def test_queries_invariant_under_rebalance(self, kwargs):
+        """Migration never changes what a query returns — any window,
+        any topology change."""
+        trace = generate_trace("hp", 5_000, seed=19)
+        service = ShardedFarmer(FarmerConfig(max_strength=0.3, n_shards=4))
+        service.mine(trace)
+        fids = owned_fids(service)
+        before = query_map(service, fids)
+        report = service.rebalance(**kwargs)
+        assert query_map(service, fids) == before
+        assert report.n_shards_after == kwargs.get("n_shards", 4)
+        assert 0 <= report.n_migrated <= report.n_owned
+
+    def test_snapshot_preserved(self):
+        trace = generate_trace("hp", 3_000, seed=5)
+        service = ShardedFarmer(FarmerConfig(max_strength=0.3, n_shards=4))
+        service.mine(trace)
+        before = service.snapshot()
+        service.rebalance(policy="consistent_hash")
+        assert service.snapshot() == before
+
+
+class TestFromScratchEquivalence:
+    """window=1: rebalanced ≡ freshly mined at the new topology."""
+
+    BASE = FarmerConfig(max_strength=0.3, window=1, n_shards=4)
+
+    def check(self, trace, **rebalance_kwargs):
+        migrated = ShardedFarmer(self.BASE)
+        for record in trace:
+            migrated.observe(record)
+        report = migrated.rebalance(**rebalance_kwargs)
+        scratch = ShardedFarmer(migrated.config)
+        for record in trace:
+            scratch.observe(record)
+        fids = owned_fids(scratch) | owned_fids(migrated)
+        assert query_map(migrated, fids) == query_map(scratch, fids)
+        assert migrated.snapshot() == scratch.snapshot()
+        return report
+
+    def test_hash_to_consistent_hash_20k(self):
+        """Acceptance: policy migration over a 20k-record trace."""
+        trace = generate_trace("hp", 20_000, seed=13)
+        report = self.check(trace, policy="consistent_hash")
+        assert report.n_migrated > 0
+        assert report.policy == "consistent_hash"
+
+    def test_shard_count_grow_20k(self):
+        """Acceptance: shard-count change (4 → 6) over 20k records."""
+        trace = generate_trace("hp", 20_000, seed=14)
+        report = self.check(trace, n_shards=6)
+        assert report.n_shards_after == 6
+
+    def test_shard_count_shrink(self):
+        trace = generate_trace("hp", 8_000, seed=15)
+        report = self.check(trace, n_shards=2)
+        assert report.n_shards_after == 2
+        # everything shards 2..3 owned had to move
+        assert report.n_migrated > 0
+
+    def test_consistent_hash_growth_moves_minority(self):
+        """Same property through the service: consistent_hash 4 → 5
+        migrates a minority while modulo would reshuffle the bulk."""
+        trace = generate_trace("hp", 8_000, seed=16)
+        service = ShardedFarmer(
+            self.BASE.with_(shard_policy="consistent_hash")
+        )
+        for record in trace:
+            service.observe(record)
+        report = service.rebalance(n_shards=5)
+        assert 0 < report.moved_fraction < 0.5
+
+    def test_mining_continues_after_rebalance(self):
+        """Post-rebalance observations route with the new topology and
+        keep capturing cross-shard edges."""
+        trace = generate_trace("hp", 6_000, seed=17)
+        service = ShardedFarmer(self.BASE)
+        for record in trace[:3_000]:
+            service.observe(record)
+        service.rebalance(n_shards=6, policy="consistent_hash")
+        echoes_before = service.n_boundary_echoes
+        for record in trace[3_000:]:
+            service.observe(record)
+            service.predict(record.fid)
+        assert service.n_observed == len(trace)
+        assert service.n_boundary_echoes > echoes_before
+        stats = service.stats()
+        assert stats.n_shards == 6
+        assert stats.n_rebalances == 1
+        assert stats.n_migrated_fids > 0
+
+
+class TestRebalanceEdgeCases:
+    def test_empty_shard_after_zero_weight_rebalance(self):
+        """Satellite edge case: a zero weight drains a shard entirely;
+        the empty shard keeps serving (nothing routes to it)."""
+        trace = generate_trace("hp", 3_000, seed=7)
+        service = ShardedFarmer(
+            FarmerConfig(
+                max_strength=0.3, n_shards=3, shard_policy="consistent_hash"
+            )
+        )
+        service.mine(trace)
+        fids = owned_fids(service)
+        before = query_map(service, fids)
+        service.rebalance(weights=(1.0, 0.0, 1.0))
+        assert query_map(service, fids) == before
+        assert all(service.shard_of(fid) != 1 for fid in fids)
+        # shard 1 still exists, owns nothing, and stats() handles it
+        assert service.stats().n_shards == 3
+        service.mine(trace[:500])  # and mining still works
+
+    def test_weights_carry_forward(self):
+        """A later rebalance that omits weights keeps the current ring's
+        weights — a drained (zero-weight) shard stays drained."""
+        service = ShardedFarmer(
+            FarmerConfig(n_shards=3, shard_policy="consistent_hash")
+        )
+        service.mine(generate_trace("hp", 1_000, seed=6))
+        service.rebalance(weights=(1.0, 1.0, 0.0))
+        service.rebalance()  # no weights given: keep them
+        assert service.router.weights == (1.0, 1.0, 0.0)
+        fids = owned_fids(service)
+        assert all(service.shard_of(fid) != 2 for fid in fids)
+
+    def test_weighted_ring_count_change_needs_explicit_weights(self):
+        """Changing the shard count while the ring has explicit weights
+        must not silently reset to uniform."""
+        service = ShardedFarmer(
+            FarmerConfig(n_shards=3, shard_policy="consistent_hash")
+        )
+        service.rebalance(weights=(1.0, 1.0, 0.0))
+        with pytest.raises(ConfigError):
+            service.rebalance(n_shards=4)
+        service.rebalance(n_shards=4, weights=(1.0, 1.0, 0.0, 1.0))
+        assert service.config.n_shards == 4
+
+    def test_weights_require_consistent_hash(self):
+        service = ShardedFarmer(FarmerConfig(n_shards=2))
+        with pytest.raises(ConfigError):
+            service.rebalance(weights=(1.0, 2.0))
+
+    def test_explicit_router_must_match_count(self):
+        service = ShardedFarmer(FarmerConfig(n_shards=2))
+        with pytest.raises(ConfigError):
+            service.rebalance(n_shards=4, router=HashShardRouter(2))
+
+    def test_explicit_router_accepted(self):
+        service = ShardedFarmer(FarmerConfig(n_shards=2))
+        service.mine(generate_trace("hp", 1_000, seed=3))
+        router = ConsistentHashRouter(4, seed=42)
+        report = service.rebalance(n_shards=4, router=router)
+        assert service.router is router
+        assert report.n_shards_after == 4
+        assert service.config.n_shards == 4
+
+    def test_noop_rebalance_moves_nothing(self):
+        """Re-installing the same topology is a no-op migration."""
+        service = ShardedFarmer(FarmerConfig(max_strength=0.3, n_shards=4))
+        service.mine(generate_trace("hp", 2_000, seed=4))
+        report = service.rebalance(n_shards=4)
+        assert report.n_migrated == 0
+        assert report.moved_fraction == 0.0

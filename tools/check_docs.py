@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Docs checker: fenced Python blocks in Markdown must compile and run.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py README.md docs/*.md
+
+Every ```` ```python ```` block is extracted, byte-compiled, and then
+executed in a fresh subprocess (blocks must be self-contained — that is
+the point: documentation examples that cannot run are documentation
+that lies). A block tagged ```` ```python no-run ```` is compiled but
+not executed (for illustrative fragments). ```` ```console ```` blocks
+are not executed.
+
+Exit code 1 on the first compile error or non-zero block execution.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+__all__ = ["extract_blocks", "check_markdown", "main"]
+
+_FENCE = re.compile(
+    r"^```python([^\n]*)\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL
+)
+
+
+def extract_blocks(markdown: str) -> list[tuple[str, bool]]:
+    """``(code, runnable)`` for every fenced Python block, in order."""
+    blocks: list[tuple[str, bool]] = []
+    for match in _FENCE.finditer(markdown):
+        info, code = match.group(1).strip(), match.group(2)
+        blocks.append((code, info != "no-run"))
+    return blocks
+
+
+def check_markdown(path: Path, run: bool = True) -> list[str]:
+    """Compile (and optionally execute) every Python block in a file;
+    returns the failure messages."""
+    failures: list[str] = []
+    blocks = extract_blocks(path.read_text())
+    for index, (code, runnable) in enumerate(blocks):
+        label = f"{path} block {index + 1}"
+        try:
+            compile(code, label, "exec")
+        except SyntaxError as exc:
+            failures.append(f"{label}: does not compile: {exc}")
+            continue
+        if not (run and runnable):
+            continue
+        env = os.environ.copy()
+        # blocks run from a temp dir; keep a relative PYTHONPATH=src valid
+        if "PYTHONPATH" in env:
+            env["PYTHONPATH"] = os.pathsep.join(
+                str(Path(part).resolve())
+                for part in env["PYTHONPATH"].split(os.pathsep)
+                if part
+            )
+        with tempfile.TemporaryDirectory() as tmp:
+            script = Path(tmp) / "block.py"
+            script.write_text(code)
+            proc = subprocess.run(
+                [sys.executable, str(script)],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=tmp,
+                timeout=600,
+            )
+        if proc.returncode != 0:
+            failures.append(
+                f"{label}: exited {proc.returncode}:\n{proc.stderr.strip()}"
+            )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    """Check every given Markdown file; 0 iff all blocks pass."""
+    run = True
+    if argv and argv[0] == "--compile-only":
+        run = False
+        argv = argv[1:]
+    if not argv:
+        print(
+            "usage: check_docs.py [--compile-only] FILE.md [FILE.md ...]",
+            file=sys.stderr,
+        )
+        return 2
+    failures: list[str] = []
+    n_blocks = 0
+    for name in argv:
+        path = Path(name)
+        n_blocks += len(extract_blocks(path.read_text()))
+        failures.extend(check_markdown(path, run=run))
+    for failure in failures:
+        print(failure)
+    mode = "ran" if run else "compiled"
+    print(
+        f"[check_docs: {n_blocks} python blocks {mode}, "
+        f"{len(failures)} failures]",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Missing-docstring linter for the public API surface (pydocstyle D1xx
+equivalent, zero dependencies).
+
+Usage::
+
+    python tools/check_docstrings.py src/repro/service src/repro/storage
+
+Every public module, class, function and method (names not starting
+with ``_``) under the given paths must carry a docstring; violations
+are listed as ``path:line: message`` and the exit code is 1 if any
+exist. Nested (local) functions are skipped — they are implementation
+detail, not surface.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+__all__ = ["check_file", "main"]
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def check_file(path: Path) -> list[str]:
+    """All missing-docstring violations in one Python file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    problems: list[str] = []
+    if ast.get_docstring(tree) is None:
+        problems.append(f"{path}:1: missing module docstring")
+
+    def walk(node: ast.AST, *, in_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if _is_public(child.name) and ast.get_docstring(child) is None:
+                    problems.append(
+                        f"{path}:{child.lineno}: missing docstring on "
+                        f"class {child.name}"
+                    )
+                walk(child, in_function=in_function)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if (
+                    not in_function
+                    and _is_public(child.name)
+                    and ast.get_docstring(child) is None
+                ):
+                    problems.append(
+                        f"{path}:{child.lineno}: missing docstring on "
+                        f"{child.name}()"
+                    )
+                walk(child, in_function=True)
+            else:
+                walk(child, in_function=in_function)
+
+    walk(tree, in_function=False)
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    """Check every ``.py`` file under the given paths; 0 iff clean."""
+    if not argv:
+        print("usage: check_docstrings.py PATH [PATH ...]", file=sys.stderr)
+        return 2
+    problems: list[str] = []
+    n_files = 0
+    for root in argv:
+        root_path = Path(root)
+        files = (
+            sorted(root_path.rglob("*.py"))
+            if root_path.is_dir()
+            else [root_path]
+        )
+        for file in files:
+            n_files += 1
+            problems.extend(check_file(file))
+    for problem in problems:
+        print(problem)
+    print(
+        f"[check_docstrings: {n_files} files, {len(problems)} missing]",
+        file=sys.stderr,
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
