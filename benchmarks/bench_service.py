@@ -301,6 +301,124 @@ def bench_rebalance_migration(benchmark, hp_bench_trace, bench_record):
     )
 
 
+def bench_failover_recovery(benchmark, hp_bench_trace, bench_record):
+    """Failover on a mined, replicated 4-shard service: kill each shard
+    and promote its warm standby.
+
+    The benchmark loop times the full kill-promote-reprotect cycle over
+    all four shards; the recorded per-shard numbers split promotion
+    (the partition's unavailability window once failure is detected —
+    installing the standby, no state copied) from reseeding (building
+    and fully syncing the replacement standby). The asserted property:
+    every promotion restores a populated partition at zero loss (the
+    batch mine ends on a sync barrier).
+    """
+    cfg = BASE.with_(
+        n_shards=4, replication=True, standby_sync_interval=500
+    )
+    service = ShardedFarmer(cfg).mine(hp_bench_trace)
+
+    def failover_cycle():
+        reports = []
+        for index in range(4):
+            service.fail_shard(index)
+            reports.append(service.promote_standby(index))
+        return reports
+
+    reports = benchmark.pedantic(failover_cycle, rounds=3, iterations=1)
+    assert all(r.n_nodes_restored > 0 for r in reports)
+    assert all(r.lag == 0 for r in reports)  # mine synced at its barrier
+    mean_promote = sum(r.promote_s for r in reports) / len(reports)
+    mean_reseed = sum(r.reseed_s for r in reports) / len(reports)
+    print(
+        f"\n[failover: promote {mean_promote * 1e6:.0f}us/shard, "
+        f"reseed {mean_reseed * 1e3:.1f}ms/shard, "
+        f"{reports[0].n_nodes_restored} nodes on shard 0]"
+    )
+    bench_record(
+        promote_s=mean_promote,
+        reseed_s=mean_reseed,
+        n_nodes_restored=reports[0].n_nodes_restored,
+        lag_records=reports[0].lag,
+    )
+
+
+def bench_standby_sync_overhead(benchmark, hp_bench_trace, bench_record):
+    """What replication costs the live observe path: the same FPA loop
+    with and without standby sync barriers every 500 accepted requests.
+
+    The asserted property is transparency (identical predictions); the
+    recorded number is the wall-clock overhead ratio, the price of a
+    500-request failover loss window.
+    """
+    import time as _time
+
+    def replay(cfg):
+        service = ShardedFarmer(cfg)
+        start = _time.perf_counter()
+        for record in hp_bench_trace:
+            service.observe(record)
+            service.predict(record.fid)
+        return service, _time.perf_counter() - start
+
+    replay(BASE.with_(n_shards=4))  # warm-up
+
+    def timed_pair():
+        _, plain_s = replay(BASE.with_(n_shards=4))
+        replicated, replicated_s = replay(
+            BASE.with_(n_shards=4, replication=True, standby_sync_interval=500)
+        )
+        return replicated, plain_s, replicated_s
+
+    replicated, plain_s, replicated_s = benchmark.pedantic(
+        timed_pair, rounds=2, iterations=1
+    )
+    stats = replicated.stats()
+    assert stats.n_standby_syncs == len(hp_bench_trace) // 500
+    overhead = replicated_s / plain_s if plain_s > 0 else 1.0
+    print(
+        f"\n[standby sync overhead: {overhead:.2f}x wall clock "
+        f"({stats.n_standby_syncs} barriers over {len(hp_bench_trace)} "
+        f"records; plain {plain_s * 1e3:.0f}ms vs replicated "
+        f"{replicated_s * 1e3:.0f}ms]"
+    )
+    bench_record(
+        sync_overhead_ratio=overhead,
+        plain_observe_predict_s=plain_s,
+        replicated_observe_predict_s=replicated_s,
+        n_standby_syncs=stats.n_standby_syncs,
+        standby_sync_interval=500,
+    )
+
+
+def bench_auto_rebalance_decision(benchmark, hp_bench_trace, bench_record):
+    """The load-aware decision on a mined service: read shard loads,
+    build ring weights, migrate. Records the moved fraction the
+    feedback loop costs (weights near uniform on a balanced workload,
+    so the migration is dominated by the hash → consistent_hash policy
+    switch)."""
+    cfg = BASE.with_(n_shards=4)
+
+    def decide():
+        service = ShardedFarmer(cfg).mine(hp_bench_trace)
+        return service.auto_rebalance()
+
+    report = benchmark.pedantic(decide, rounds=2, iterations=1)
+    print(
+        f"\n[auto-rebalance: loads {tuple(int(v) for v in report.loads)} -> "
+        f"weights {tuple(round(w, 2) for w in report.weights)}; moved "
+        f"{report.rebalance.moved_fraction:.1%} in "
+        f"{report.rebalance.elapsed_s * 1e3:.1f}ms]"
+    )
+    assert len(report.weights) == 4
+    bench_record(
+        decision_s=report.rebalance.elapsed_s,
+        moved_fraction=report.rebalance.moved_fraction,
+        weights=list(report.weights),
+        loads=list(report.loads),
+    )
+
+
 def bench_parallel_vs_sequential_wall_clock(
     benchmark, hp_bench_trace, bench_record
 ):

@@ -100,6 +100,53 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     svc_p.add_argument(
+        "--idle-drain",
+        type=int,
+        default=0,
+        metavar="G",
+        help=(
+            "drain an idle shard's echo queue after G accepted requests "
+            "without activity on it (0 = off; idle queues then wait for "
+            "the shard's next own event or interval expiry)"
+        ),
+    )
+    svc_p.add_argument(
+        "--replicate",
+        action="store_true",
+        help=(
+            "keep one warm standby per shard, synced through the migration "
+            "seam every --sync-interval accepted requests (enables "
+            "--fail-shard)"
+        ),
+    )
+    svc_p.add_argument(
+        "--sync-interval",
+        type=int,
+        default=1024,
+        metavar="K",
+        help="standby sync cadence in accepted requests (with --replicate)",
+    )
+    svc_p.add_argument(
+        "--fail-shard",
+        type=int,
+        default=None,
+        metavar="I",
+        help=(
+            "after the replay, kill shard I's private state, promote its "
+            "standby, and report recovery time and the loss window "
+            "(requires --replicate)"
+        ),
+    )
+    svc_p.add_argument(
+        "--auto-rebalance",
+        action="store_true",
+        help=(
+            "after the replay, feed observed per-shard load into "
+            "consistent-hash ring weights and rebalance onto them "
+            "(reports loads, weights and the migration)"
+        ),
+    )
+    svc_p.add_argument(
         "--mds",
         type=int,
         default=None,
@@ -170,6 +217,9 @@ def _run_service(args: argparse.Namespace) -> int:
     policy = args.router or args.policy or "hash"
     # farmer_config_for picks the trace's attribute set (Table 5): HP/LLNL
     # mine paths, INS/RES fall back to file id + device
+    if args.fail_shard is not None and not args.replicate:
+        print("--fail-shard requires --replicate", file=sys.stderr)
+        return 2
     base = farmer_config_for(
         args.trace,
         shard_policy=policy,
@@ -177,6 +227,9 @@ def _run_service(args: argparse.Namespace) -> int:
         cross_shard_edges=not args.isolate,
         vector_freeze_threshold=args.freeze,
         echo_flush_interval=args.echo_interval,
+        echo_idle_drain=args.idle_drain,
+        replication=args.replicate,
+        standby_sync_interval=args.sync_interval,
     )
     records = generate_trace(args.trace, args.events, seed=args.seed)
     predict = not args.no_predict
@@ -249,6 +302,45 @@ def _run_service(args: argparse.Namespace) -> int:
             f"({report.moved_fraction:.1%}) in {report.elapsed_s * 1e3:.1f}ms "
             f"— only owner-changed fids move; nothing is re-mined"
         )
+    if args.fail_shard is not None or args.auto_rebalance:
+        from repro.service.sharded import ShardedFarmer
+
+        n_svc = max((int(s) for s in args.shards.split(",") if s), default=4)
+        n_svc = max(n_svc, 2)  # failover/rebalance need a real partition
+        service = ShardedFarmer(base.with_(n_shards=n_svc)).mine(records)
+        if args.fail_shard is not None:
+            index = args.fail_shard % n_svc
+            probe = next(
+                (r.fid for r in records if service.shard_of(r.fid) == index),
+                None,  # a tiny/skewed trace may leave the shard empty
+            )
+            if probe is not None:
+                service.correlators(probe)  # the partition serves pre-failure
+            service.fail_shard(index)
+            report = service.promote_standby(index)
+            if probe is not None:
+                service.correlators(probe)  # ...and serves again afterwards
+            print(
+                f"\nfailover shard {index}/{n_svc}: promoted the warm "
+                f"standby in {report.promote_s * 1e3:.2f}ms "
+                f"({report.n_nodes_restored} nodes restored to the last "
+                f"sync barrier at request {report.synced_at}; loss window "
+                f"{report.lag} requests), re-protected in "
+                f"{report.reseed_s * 1e3:.1f}ms"
+            )
+        if args.auto_rebalance:
+            auto = service.auto_rebalance()
+            loads = ", ".join(f"s{i}:{v:,.0f}" for i, v in enumerate(auto.loads))
+            weights = ", ".join(
+                f"s{i}:{w:.2f}" for i, w in enumerate(auto.weights)
+            )
+            print(
+                f"\nauto-rebalance on observed load [{loads}] -> ring "
+                f"weights [{weights}]: migrated "
+                f"{auto.rebalance.n_migrated}/{auto.rebalance.n_owned} fids "
+                f"({auto.rebalance.moved_fraction:.1%}) in "
+                f"{auto.rebalance.elapsed_s * 1e3:.1f}ms"
+            )
     if args.mds is not None:
         from repro.service.sharded import ShardedFarmer
         from repro.storage.cluster import SimulationConfig, run_simulation

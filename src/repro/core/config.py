@@ -110,6 +110,35 @@ class FarmerConfig:
             LDA distances become approximate. Only meaningful under
             ``lazy_reevaluation``; the eager schedule always delivers
             echoes synchronously (it is the paper-literal reference).
+        echo_idle_drain: live drain trigger for idle shards. A
+            destination shard's echo queue normally waits for the
+            shard's next owned request or query (just-in-time mode) or
+            for the next interval expiry (batched mode) — an *idle*
+            shard's queue can therefore sit undelivered indefinitely.
+            With ``echo_idle_drain=G > 0``, a shard whose queue is
+            non-empty and which has seen no activity (owned observation
+            or drain) for G accepted requests elsewhere has its queue
+            drained proactively. 0 (default) disables the trigger.
+            Under ``echo_flush_interval=0`` the early drain is
+            bit-identical to just-in-time delivery (nothing can have
+            landed on the idle destination in between); under a
+            positive interval it is one more drain point of the
+            already-approximate batched schedule.
+        replication: if True, a :class:`~repro.service.ShardedFarmer`
+            keeps one warm standby per primary shard
+            (:mod:`repro.service.replication`), synced through the
+            shard-migration seam every ``standby_sync_interval``
+            accepted requests. ``fail_shard(i)`` / ``promote_standby(i)``
+            then make shard failover a first-class operation: the
+            promoted standby serves exactly what the failed primary
+            served at the last sync barrier. False (default) keeps the
+            service unreplicated (no standby memory, no sync work).
+        standby_sync_interval: accepted requests between standby sync
+            barriers (only meaningful with ``replication=True``). At a
+            barrier every primary's changed graph nodes and
+            freshly-ranked Correlator Lists are copied to its standby;
+            a smaller interval narrows the failover loss window at the
+            cost of more sync work.
         shared_sim_cache: if True (default), all shards of a
             ``ShardedFarmer`` share one thread-safe versioned similarity
             cache (safe because shards also share the vector store, so
@@ -147,6 +176,9 @@ class FarmerConfig:
     router_virtual_nodes: int = 64
     router_seed: int = 0
     echo_flush_interval: int = 0
+    echo_idle_drain: int = 0
+    replication: bool = False
+    standby_sync_interval: int = 1024
     shared_sim_cache: bool = True
     cross_shard_edges: bool = True
 
@@ -196,6 +228,10 @@ class FarmerConfig:
             raise ConfigError("router_virtual_nodes must be >= 1")
         if self.echo_flush_interval < 0:
             raise ConfigError("echo_flush_interval must be >= 0")
+        if self.echo_idle_drain < 0:
+            raise ConfigError("echo_idle_drain must be >= 0")
+        if self.standby_sync_interval < 1:
+            raise ConfigError("standby_sync_interval must be >= 1")
 
     def with_(self, **changes) -> "FarmerConfig":
         """Functional update (re-validates)."""

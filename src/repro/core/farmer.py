@@ -243,6 +243,11 @@ class Farmer:
     # queries
     # ------------------------------------------------------------------
 
+    @property
+    def n_observed(self) -> int:
+        """Requests this miner accepted (cheap; ``stats()`` aggregates)."""
+        return self._n_observed
+
     def correlators(self, fid: int) -> list[CorrelatorEntry]:
         """Valid correlates of ``fid``, strongest first."""
         return self.sorter.correlators(fid)

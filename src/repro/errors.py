@@ -47,5 +47,32 @@ class KVStoreError(ReproError):
     """An operation on the Berkeley-DB-substitute key/value store failed."""
 
 
+class ReplicationError(ReproError):
+    """A shard replication/failover operation was misused.
+
+    Raised when failover entry points are driven outside their contract
+    (failing a shard with replication disabled, promoting a shard that
+    is not failed, double-failing an already-failed shard) — these are
+    caller errors, never data loss.
+    """
+
+
+class ShardFailedError(ReproError):
+    """A request was routed to a failed shard.
+
+    The shard's partition is unavailable between ``fail_shard(i)`` and
+    ``promote_standby(i)``; requests and queries owned by other shards
+    keep working. Carries the shard index so a client can trigger the
+    promotion.
+    """
+
+    def __init__(self, shard: int) -> None:
+        super().__init__(
+            f"shard {shard} is failed; call promote_standby({shard}) "
+            f"to restore its partition from the warm standby"
+        )
+        self.shard = shard
+
+
 class UnknownExperimentError(ReproError):
     """An experiment id was requested that the registry does not know."""

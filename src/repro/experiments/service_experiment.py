@@ -13,10 +13,21 @@ per-shard views spend the same prefetch budget only on fids their
 server stores; routing then recovers the cross-server share of that
 benefit, which shows up as a strictly higher hit ratio than the drop
 variant at the same per-request candidate budget and queue limits.
+
+At the largest MDS count the experiment also runs the *replicated*
+variant — the same sharded engine with one warm standby per shard
+(``FarmerConfig.replication``) — whose hit ratio must equal the
+unreplicated sharded run exactly (standby upkeep is transparent to
+mining results; only the mining-side sync cost differs), and measures
+failover directly on the mining service: each shard is killed and its
+standby promoted, reporting recovery time and the standby-sync
+overhead ratio (both also recorded by ``benchmarks/bench_service.py``
+into ``BENCH_service.json``).
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 
 from repro.core.farmer import Farmer
@@ -32,16 +43,58 @@ from repro.service.sharded import ShardedFarmer
 from repro.storage.cluster import run_simulation
 from repro.storage.prefetch import FarmerPrefetcher, ShardedFarmerPrefetcher
 
-__all__ = ["run", "EXPERIMENT"]
+__all__ = ["run", "failover_metrics", "EXPERIMENT"]
 
 MDS_COUNTS = (1, 2, 4)
 
 
-def _sharded_engine(trace: str, n_shards: int) -> ShardedFarmerPrefetcher:
+def _sharded_engine(
+    trace: str, n_shards: int, replication: bool = False
+) -> ShardedFarmerPrefetcher:
     """A fresh sharded engine with one miner shard per MDS."""
     return ShardedFarmerPrefetcher(
-        ShardedFarmer(farmer_config_for(trace, n_shards=n_shards))
+        ShardedFarmer(
+            farmer_config_for(
+                trace, n_shards=n_shards, replication=replication
+            )
+        )
     )
+
+
+def failover_metrics(
+    trace: str, n_events: int, seed: int, n_shards: int = 4
+) -> dict[str, float]:
+    """Kill-and-promote each shard of a mined replicated service.
+
+    Returns the mean promotion time (the partition's unavailability
+    window once failure is detected), the mean re-protection time, and
+    the standby-sync overhead: replicated over unreplicated wall time
+    for the same batch mine.
+    """
+    records = cached_trace(trace, n_events, seed)
+    base = farmer_config_for(
+        trace, n_shards=n_shards, standby_sync_interval=max(1, n_events // 8)
+    )
+    ShardedFarmer(base).mine(records)  # warm-up (allocator, caches)
+    start = time.perf_counter()
+    ShardedFarmer(base).mine(records)
+    plain_s = time.perf_counter() - start
+    start = time.perf_counter()
+    service = ShardedFarmer(base.with_(replication=True)).mine(records)
+    replicated_s = time.perf_counter() - start
+    promote_times = []
+    reseed_times = []
+    for index in range(n_shards):
+        service.fail_shard(index)
+        report = service.promote_standby(index)
+        promote_times.append(report.promote_s)
+        reseed_times.append(report.reseed_s)
+    return {
+        "promote_s": mean(promote_times),
+        "reseed_s": mean(reseed_times),
+        "sync_overhead_ratio": replicated_s / plain_s if plain_s > 0 else 1.0,
+        "n_standby_syncs": float(service.stats().n_standby_syncs),
+    }
 
 
 def run(
@@ -59,6 +112,7 @@ def run(
     """
     rows = []
     data: dict[str, dict[str, float]] = {}
+    largest = max(MDS_COUNTS)
     for n_mds in MDS_COUNTS:
         for label, factory, routed in (
             (
@@ -68,9 +122,16 @@ def run(
             ),
             ("sharded", lambda n=n_mds: _sharded_engine(trace, n), False),
             ("routed", lambda n=n_mds: _sharded_engine(trace, n), True),
+            (
+                "replicated",
+                lambda n=n_mds: _sharded_engine(trace, n, replication=True),
+                False,
+            ),
         ):
             if n_mds == 1 and label != "global":
                 continue  # identical to global by construction
+            if label == "replicated" and n_mds != largest:
+                continue  # transparency shown once, at the widest scale
             reports = []
             for seed in seeds:
                 records = cached_trace(trace, n_events, seed)
@@ -106,6 +167,7 @@ def run(
                     f"{d['mean_response_us']:.1f}",
                 )
             )
+    data["failover"] = failover_metrics(trace, n_events, seeds[0])
     return ExperimentResult(
         experiment_id="ext_sharding",
         title=(
@@ -133,7 +195,11 @@ def run(
             "cross-server candidates that miss the local KV shard; "
             "routing turns those into owner-side loads, lifting the hit "
             "ratio above the drop variant at the same per-request "
-            "candidate budget and queue limits."
+            "candidate budget and queue limits. replicated = the sharded "
+            "engine with one warm standby per shard: hit ratio equals the "
+            "unreplicated run (standby sync is transparent to mining "
+            "results); data['failover'] reports mean promote/reseed time "
+            "per shard and the standby-sync wall-clock overhead ratio."
         ),
         data=data,
     )

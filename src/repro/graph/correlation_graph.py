@@ -15,6 +15,7 @@ to the truly correlated set.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
@@ -35,6 +36,14 @@ class EdgeStats:
         """Approximate resident size of the edge record."""
         return 48
 
+    def clone(self) -> "EdgeStats":
+        """An independent copy (the standby-replication ship unit)."""
+        return EdgeStats(
+            weighted_count=self.weighted_count,
+            raw_count=self.raw_count,
+            last_distance=self.last_distance,
+        )
+
 
 @dataclass(slots=True)
 class NodeState:
@@ -49,6 +58,19 @@ class NodeState:
     def approx_bytes(self) -> int:
         """Approximate resident size of this node and its edges."""
         return 80 + sum(104 + e.approx_bytes() for e in self.successors.values())
+
+    def clone(self) -> "NodeState":
+        """A deep, independent copy of the node and its edge records.
+
+        Shard replication *copies* state where rebalance migration
+        *moves* it: the primary keeps mutating its node, so the standby
+        must hold its own edge objects, not aliases.
+        """
+        return NodeState(
+            access_count=self.access_count,
+            successors={fid: e.clone() for fid, e in self.successors.items()},
+            change_tick=self.change_tick,
+        )
 
 
 class CorrelationGraph:
@@ -174,6 +196,17 @@ class CorrelationGraph:
         halo node this graph accumulated for the fid (the migrated node
         is the authoritative one — it came from the fid's owner)."""
         self._nodes[fid] = node
+
+    def adopt_window(self, fids: Iterable[int]) -> None:
+        """Replace the sliding window with ``fids`` (oldest first).
+
+        Standby replication uses this to carry the primary's window
+        across a sync barrier, so a promoted standby resumes mining with
+        the same predecessor context the failed primary had (contents
+        beyond the window length are truncated to the newest entries,
+        matching ``deque(maxlen=window)`` semantics).
+        """
+        self._recent = deque(fids, maxlen=self.window)
 
     # ------------------------------------------------------------------
     # queries

@@ -153,6 +153,19 @@ class CorrelatorList:
     def __iter__(self):
         return iter(self._entries)
 
+    def clone(self) -> "CorrelatorList":
+        """An independent copy with the same entries and counters.
+
+        Entries are immutable NamedTuples, so a shallow container copy
+        is a full copy; ``insort_ops`` carries over so op accounting on
+        a promoted standby continues from the primary's count.
+        """
+        new = CorrelatorList(threshold=self.threshold, capacity=self.capacity)
+        new.insort_ops = self.insort_ops
+        new._entries = list(self._entries)
+        new._degrees = dict(self._degrees)
+        return new
+
     def is_sorted(self) -> bool:
         """Invariant check used by tests: strictly non-increasing degrees."""
         return all(

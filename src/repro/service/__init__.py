@@ -7,8 +7,12 @@ This is the architectural seam for scaling the miner alongside the
 metadata servers: shard *i* co-locates with MDS *i* in the cluster
 simulator, and :class:`ParallelShardRunner` executes the shards on real
 threads or processes (the shared stores are lock-protected for exactly
-this). Every future scaling step (async batching, replication) plugs in
-behind the same façade.
+this). With ``FarmerConfig.replication=True`` each primary keeps a warm
+standby (:mod:`repro.service.replication`) and ``fail_shard`` /
+``promote_standby`` make shard failover a first-class operation;
+``auto_rebalance`` feeds observed shard load back into consistent-hash
+ring weights. Every future scaling step plugs in behind the same
+façade.
 """
 
 from repro.service.harness import (
@@ -27,8 +31,18 @@ from repro.service.router import (
     ShardRouter,
     make_router,
 )
+from repro.service.replication import (
+    FailoverReport,
+    ShardReplica,
+    ShardReplicator,
+    StandbySyncReport,
+)
 from repro.service.runner import ParallelMineReport, ParallelShardRunner
-from repro.service.sharded import RebalanceReport, ShardedFarmer
+from repro.service.sharded import (
+    AutoRebalanceReport,
+    RebalanceReport,
+    ShardedFarmer,
+)
 from repro.service.stats import (
     ServiceStats,
     combine_cache_stats,
@@ -48,8 +62,13 @@ __all__ = [
     "RangeShardRouter",
     "ShardRouter",
     "make_router",
+    "FailoverReport",
+    "ShardReplica",
+    "ShardReplicator",
+    "StandbySyncReport",
     "ParallelMineReport",
     "ParallelShardRunner",
+    "AutoRebalanceReport",
     "RebalanceReport",
     "ShardedFarmer",
     "ServiceStats",

@@ -90,6 +90,43 @@ is the list the old owner would have served), and with ``window=1`` —
 the regime where boundary echoes capture the cross-shard edge set
 exactly — a mined-then-rebalanced service is bit-for-bit identical to a
 service freshly mined at the new topology (both property-tested).
+
+Replication and failover (``fail_shard`` / ``promote_standby``)
+---------------------------------------------------------------
+
+With ``FarmerConfig.replication=True`` the service keeps one warm
+standby per primary shard (:mod:`repro.service.replication`), synced
+through the same state-shipping seam a rebalance migration uses, every
+``standby_sync_interval`` accepted requests (and on demand via
+:meth:`sync_standbys`). :meth:`ShardedFarmer.fail_shard` simulates the
+loss of a shard's private mining state — its graph, lists and in-flight
+echoes are gone; the shared vocabulary/vector store/similarity cache
+are namespace-global and survive by construction. While failed,
+requests and queries routed to that shard raise
+:class:`~repro.errors.ShardFailedError`; every other partition keeps
+serving. :meth:`ShardedFarmer.promote_standby` puts the standby in
+service and reseeds a fresh standby behind it. The promoted shard
+serves, bit for bit, what a never-failed service fed the stream up to
+the **last sync barrier** would serve for its fids (property-tested
+with randomized kill points, double failures and
+fail-during-``mine``); the records accepted since that barrier are the
+partition's loss window.
+
+Load-aware rebalancing (``auto_rebalance``) and idle echo drain
+---------------------------------------------------------------
+
+:meth:`ShardedFarmer.auto_rebalance` closes the loop the manual
+``rebalance(weights=...)`` hook left open: it reads each shard's
+observed load (requests absorbed + re-rank entries scanned, the same
+counters ``ServiceStats`` reports), converts it into consistent-hash
+ring weights — monotone *decreasing* in load, so hot shards shed
+namespace and idle shards absorb it — and installs them through
+:meth:`ShardedFarmer.rebalance` (queries are invariant, exactly as for
+any rebalance). ``FarmerConfig.echo_idle_drain`` adds the live drain
+trigger for idle destinations: a shard whose echo queue is non-empty
+and which has seen no activity for that many accepted requests
+elsewhere has its queue drained proactively instead of waiting for its
+next owned request, query, or interval expiry.
 """
 
 from __future__ import annotations
@@ -105,14 +142,19 @@ from repro.core.farmer import Farmer
 from repro.core.simcache import SharedSimilarityCache, SimCacheStats
 from repro.core.sorter import CorrelationSnapshot
 from repro.core.vector_store import ThreadSafeVectorStore
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ReplicationError, ShardFailedError
 from repro.graph.correlator_list import CorrelatorEntry
+from repro.service.replication import (
+    FailoverReport,
+    ShardReplicator,
+    StandbySyncReport,
+)
 from repro.service.router import ShardRouter, make_router
-from repro.service.stats import ServiceStats, combine_cache_stats
+from repro.service.stats import ServiceStats, combine_cache_stats, load_signal
 from repro.traces.record import TraceRecord
 from repro.vsm.vocabulary import ThreadSafeVocabulary
 
-__all__ = ["ShardedFarmer", "RebalanceReport"]
+__all__ = ["ShardedFarmer", "RebalanceReport", "AutoRebalanceReport"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -131,6 +173,24 @@ class RebalanceReport:
         """Migrated share of the namespace (consistent hashing's point:
         ~1/n per added shard instead of modulo's near-total reshuffle)."""
         return self.n_migrated / self.n_owned if self.n_owned else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class AutoRebalanceReport:
+    """What one :meth:`ShardedFarmer.auto_rebalance` call decided and did.
+
+    Attributes:
+        loads: per-shard load signal at the decision point (requests
+            absorbed + re-rank entries scanned — the ``ServiceStats``
+            plumbing read live).
+        weights: the consistent-hash ring weights installed (monotone
+            decreasing in ``loads``, clamped to the configured band).
+        rebalance: the underlying migration's report.
+    """
+
+    loads: tuple[float, ...]
+    weights: tuple[float, ...]
+    rebalance: RebalanceReport
 
 
 class ShardedFarmer:
@@ -185,12 +245,29 @@ class ShardedFarmer:
         self._prev_owner: int | None = None
         self._prev_fid: int | None = None
         self._echo_queues: list[deque[TraceRecord]] = [deque() for _ in range(n)]
+        # indexes with a non-empty queue, so the idle-drain trigger
+        # checks only candidates instead of scanning every shard
+        self._queued_shards: set[int] = set()
         self._since_echo_flush = 0
         self._n_observed = 0
         self._n_boundary_echoes = 0
         self._n_echo_flushes = 0
         self._n_rebalances = 0
         self._n_migrated_fids = 0
+        # failover + idle-drain state: _last_active[i] is the service
+        # n_observed at shard i's last owned observation or queue drain
+        # (the idle-gap anchor); _failed holds shard indexes whose
+        # private state is lost and awaiting promotion
+        self._failed: set[int] = set()
+        self._last_active: list[int] = [0] * n
+        self._n_idle_drains = 0
+        self._n_echoes_dropped = 0
+        self._n_failovers = 0
+        self._since_standby_sync = 0
+        self._last_standby_sync = 0
+        self._replicator = (
+            ShardReplicator(self) if self.config.replication else None
+        )
 
     # ------------------------------------------------------------------
     # routing
@@ -203,8 +280,11 @@ class ShardedFarmer:
     def shard_for(self, fid: int) -> Farmer:
         """Owning shard of ``fid``, with its pending boundary echoes
         drained first (queries go to the owner only, and a query must
-        reflect every request already routed to that owner)."""
+        reflect every request already routed to that owner). Raises
+        :class:`ShardFailedError` while the owner is failed."""
         owner = self.router.route(fid)
+        if owner in self._failed:
+            raise ShardFailedError(owner)
         self._drain_shard(owner)
         return self.shards[owner]
 
@@ -213,14 +293,21 @@ class ShardedFarmer:
     # ------------------------------------------------------------------
 
     def _drain_shard(self, index: int) -> None:
-        """Deliver shard ``index``'s queued boundary echoes (FIFO)."""
+        """Deliver shard ``index``'s queued boundary echoes (FIFO).
+
+        A failed shard is skipped (its queue is cleared at failure time
+        and enqueues to it are dropped, so this is defensive). A real
+        drain counts as shard activity for the idle-drain trigger.
+        """
         queue = self._echo_queues[index]
-        if not queue:
+        if not queue or index in self._failed:
             return
+        self._queued_shards.discard(index)
         observe_echo = self.shards[index].observe_echo
         while queue:
             observe_echo(queue.popleft())
         self._n_echo_flushes += 1
+        self._last_active[index] = self._n_observed
 
     def flush_echoes(self) -> None:
         """Drain every shard's boundary-echo queue (FIFO per shard).
@@ -247,13 +334,19 @@ class ShardedFarmer:
         is delivered synchronously instead — the eager path ranks
         entries at observation time, so deferring delivery would rank
         echoed edges against later vector state and silently diverge
-        from the paper-literal reference.
+        from the paper-literal reference. An echo destined for a
+        *failed* shard is dropped and counted (at-most-once delivery:
+        the destination that would absorb it no longer exists).
         """
         self._n_boundary_echoes += 1
+        if prev in self._failed:
+            self._n_echoes_dropped += 1
+            return
         if not self.config.lazy_reevaluation:
             self.shards[prev].observe_echo(record)
             return
         self._echo_queues[prev].append(record)
+        self._queued_shards.add(prev)
 
     # ------------------------------------------------------------------
     # mining
@@ -270,6 +363,8 @@ class ShardedFarmer:
         ):
             return
         owner = self.router.route(record.fid)
+        if owner in self._failed:
+            raise ShardFailedError(owner)
         interval = self.config.echo_flush_interval
         if interval == 0:
             # just-in-time drain: queued echoes land before the next
@@ -285,10 +380,26 @@ class ShardedFarmer:
         self._prev_owner = owner
         self._prev_fid = record.fid
         self._n_observed += 1
+        self._last_active[owner] = self._n_observed
         if interval > 0:
             self._since_echo_flush += 1
             if self._since_echo_flush >= interval:
                 self.flush_echoes()
+        idle = self.config.echo_idle_drain
+        if idle > 0 and self._queued_shards:
+            # live trigger for idle destinations: a queue whose shard
+            # has seen nothing for `idle` accepted requests drains now
+            # instead of waiting for the shard's next own event
+            n = self._n_observed
+            last_active = self._last_active
+            for dest in sorted(self._queued_shards):
+                if n - last_active[dest] >= idle:
+                    self._drain_shard(dest)
+                    self._n_idle_drains += 1
+        if self._replicator is not None:
+            self._since_standby_sync += 1
+            if self._since_standby_sync >= self.config.standby_sync_interval:
+                self.sync_standbys()
 
     def _partition(
         self,
@@ -318,6 +429,11 @@ class ShardedFarmer:
         :meth:`partition` split).
         """
         if drain:
+            # guards every live-stream batch path (mine, the replay
+            # harness, the parallel runner): a failed shard's substream
+            # would otherwise silently feed an empty placeholder
+            if self._failed:
+                raise ShardFailedError(min(self._failed))
             self.flush_echoes()
         n = self.config.n_shards
         subs: list[list[tuple[TraceRecord, bool]]] = [[] for _ in range(n)]
@@ -388,8 +504,12 @@ class ShardedFarmer:
         are delivered within the ingest phase (inline at
         ``echo_flush_interval == 0``, appended at the barrier under a
         positive interval), so the flush never ranks a list that is
-        missing an enqueued echo.
+        missing an enqueued echo. Unavailable while any shard is failed
+        (the batch would silently drop that partition's records) —
+        promote the standby first.
         """
+        if self._failed:
+            raise ShardFailedError(min(self._failed))
         subs, accepted, prev, last_fid = self._partition(records, self._prev_owner)
         self._absorb_stream_state(
             accepted, sum(len(s) for s in subs), prev, last_fid
@@ -398,11 +518,17 @@ class ShardedFarmer:
             for shard, sub in zip(self.shards, subs):
                 if sub:
                     shard.mine_mixed(sub)
-            return self
-        changed = [shard.ingest_mixed(sub) for shard, sub in zip(self.shards, subs)]
-        for shard, touched in zip(self.shards, changed):
-            if touched:
-                shard.miner.flush_nodes(sorted(touched))
+        else:
+            changed = [
+                shard.ingest_mixed(sub) for shard, sub in zip(self.shards, subs)
+            ]
+            for shard, touched in zip(self.shards, changed):
+                if touched:
+                    shard.miner.flush_nodes(sorted(touched))
+        if self._replicator is not None:
+            self._since_standby_sync += accepted
+            if self._since_standby_sync >= self.config.standby_sync_interval:
+                self.sync_standbys()
         return self
 
     # ------------------------------------------------------------------
@@ -496,6 +622,10 @@ class ShardedFarmer:
             total += self.sim_cache.approx_bytes()
         # shards skip the injected (non-owned) components themselves
         total += sum(shard.memory_bytes() for shard in self.shards)
+        if self._replicator is not None:
+            # warm standbys are real resident state (the availability
+            # premium replication pays); shared stores counted above
+            total += self._replicator.memory_bytes()
         return total
 
     @property
@@ -521,6 +651,7 @@ class ShardedFarmer:
         (pending echoes are delivered first so every counter reflects
         the full routed stream)."""
         self.flush_echoes()
+        replicator = self._replicator
         return ServiceStats(
             n_shards=self.config.n_shards,
             n_observed=self._n_observed,
@@ -531,6 +662,10 @@ class ShardedFarmer:
             n_echo_flushes=self._n_echo_flushes,
             n_rebalances=self._n_rebalances,
             n_migrated_fids=self._n_migrated_fids,
+            n_idle_drains=self._n_idle_drains,
+            n_echoes_dropped=self._n_echoes_dropped,
+            n_failovers=self._n_failovers,
+            n_standby_syncs=replicator.n_barriers if replicator else 0,
         )
 
     # ------------------------------------------------------------------
@@ -587,6 +722,8 @@ class ShardedFarmer:
         topology-dependent, so the from-scratch comparison is
         approximate while query preservation still holds exactly.
         """
+        if self._failed:
+            raise ShardFailedError(min(self._failed))
         start = time.perf_counter()
         old_n = len(self.shards)
         new_n = n_shards if n_shards is not None else old_n
@@ -644,6 +781,9 @@ class ShardedFarmer:
             )
             self.shards = tuple(shards)
             self._echo_queues.extend(deque() for _ in range(new_n - old_n))
+            self._last_active.extend(
+                self._n_observed for _ in range(new_n - old_n)
+            )
         old_route = self.router.route
         n_owned = 0
         n_migrated = 0
@@ -680,14 +820,26 @@ class ShardedFarmer:
         if new_n < old_n:
             self.shards = self.shards[:new_n]
             del self._echo_queues[new_n:]
+            del self._last_active[new_n:]
         self.router = router
         self.config = self.config.with_(n_shards=new_n, shard_policy=new_policy)
         # re-seed boundary detection under the new topology, exactly as
-        # a from-scratch service would have routed the last request
+        # a from-scratch service would have routed the last request.
+        # Explicit both ways: a destination shard that never existed
+        # before this rebalance must start from well-defined boundary
+        # state, so the no-stream case resets to None rather than
+        # leaving whatever the old topology held.
         if self._prev_fid is not None:
             self._prev_owner = router.route(self._prev_fid)
+        else:
+            self._prev_owner = None
         self._n_rebalances += 1
         self._n_migrated_fids += n_migrated
+        if self._replicator is not None:
+            # ownership moved wholesale: stale standbys are worthless,
+            # so rebuild them and take a fresh barrier immediately
+            self._replicator.resize()
+            self.sync_standbys()
         return RebalanceReport(
             n_shards_before=old_n,
             n_shards_after=new_n,
@@ -696,3 +848,193 @@ class ShardedFarmer:
             n_migrated=n_migrated,
             elapsed_s=time.perf_counter() - start,
         )
+
+    # ------------------------------------------------------------------
+    # load-aware rebalancing
+    # ------------------------------------------------------------------
+
+    def shard_loads(self) -> tuple[float, ...]:
+        """Per-shard load signal: requests absorbed (owned + echoes)
+        plus re-rank entries scanned — the same counters
+        :class:`~repro.service.stats.ServiceStats` aggregates, read
+        live without the full stats rollup."""
+        return tuple(
+            load_signal(
+                shard.n_observed, shard.miner.rerank_stats().entries_scanned
+            )
+            for shard in self.shards
+        )
+
+    def auto_rebalance(
+        self, *, weight_floor: float = 0.25, weight_ceiling: float = 4.0
+    ) -> AutoRebalanceReport:
+        """Feed observed per-shard load back into consistent-hash ring
+        weights and rebalance onto them.
+
+        Each shard's weight is the mean load over its own load
+        (clamped to ``[weight_floor, weight_ceiling]``), so weights are
+        monotone *decreasing* in load: a shard that absorbed twice the
+        average work gets half the average ring share and sheds
+        namespace, a near-idle shard absorbs it. With no load observed
+        yet the ring stays uniform. The shard count is unchanged; the
+        router policy becomes ``consistent_hash`` (the only weighted
+        policy). Queries are invariant, exactly as for any
+        :meth:`rebalance` (property-tested).
+
+        Args:
+            weight_floor: lower clamp — keeps a pathologically hot
+                shard from being drained to zero by one decision.
+            weight_ceiling: upper clamp — keeps a near-idle shard from
+                swallowing the namespace.
+
+        Returns:
+            An :class:`AutoRebalanceReport` with the loads read, the
+            weights installed, and the underlying migration report.
+        """
+        if not 0.0 < weight_floor <= weight_ceiling:
+            raise ConfigError(
+                "need 0 < weight_floor <= weight_ceiling for auto_rebalance"
+            )
+        loads = self.shard_loads()
+        total = sum(loads)
+        if total <= 0.0:
+            weights = tuple(1.0 for _ in loads)
+        else:
+            mean_load = total / len(loads)
+            weights = tuple(
+                min(weight_ceiling, max(weight_floor, mean_load / max(load, 1.0)))
+                for load in loads
+            )
+        report = self.rebalance(policy="consistent_hash", weights=weights)
+        return AutoRebalanceReport(
+            loads=loads, weights=weights, rebalance=report
+        )
+
+    # ------------------------------------------------------------------
+    # replication & failover
+    # ------------------------------------------------------------------
+
+    def _require_replication(self) -> ShardReplicator:
+        if self._replicator is None:
+            raise ReplicationError(
+                "replication is disabled; construct the service with "
+                "FarmerConfig(replication=True) to keep warm standbys"
+            )
+        return self._replicator
+
+    def sync_standbys(self) -> StandbySyncReport:
+        """Force a standby sync barrier now (healthy shards only).
+
+        Runs automatically every ``standby_sync_interval`` accepted
+        requests; public so a deployment can align barriers with its
+        own checkpoints. Pending boundary echoes are delivered first —
+        a standby must reflect every request already routed to its
+        primary — then each primary's tick-changed nodes and
+        freshly-ranked lists are copied to its standby.
+        """
+        replicator = self._require_replication()
+        self.flush_echoes()
+        report = replicator.sync_all()
+        self._since_standby_sync = 0
+        self._last_standby_sync = report.at_observed
+        return report
+
+    def fail_shard(self, index: int) -> None:
+        """Simulate the loss of shard ``index``'s private mining state.
+
+        The shard's graph, Correlator Lists and re-rank bookkeeping are
+        discarded, and its queued (in-flight) boundary echoes are
+        dropped — at-most-once delivery, exactly what a crashed
+        destination costs. The shared vocabulary, vector store and
+        similarity cache are namespace-global and unaffected. Until
+        :meth:`promote_standby` runs, requests and queries routed to
+        this shard raise :class:`ShardFailedError` while every other
+        partition keeps serving; aggregate accounting (``snapshot`` /
+        ``stats``) excludes the failed partition.
+        """
+        self._require_replication()
+        if not 0 <= index < len(self.shards):
+            raise ConfigError(f"no shard {index} in a {len(self.shards)}-shard service")
+        if index in self._failed:
+            raise ReplicationError(f"shard {index} is already failed")
+        # in-flight echoes die with the destination
+        dropped = len(self._echo_queues[index])
+        self._echo_queues[index].clear()
+        self._queued_shards.discard(index)
+        self._n_echoes_dropped += dropped
+        shards = list(self.shards)
+        # an empty placeholder keeps aggregate walks (stats/snapshot)
+        # total; the _failed guard keeps routed traffic out of it
+        shards[index] = Farmer(
+            self.config,
+            vocabulary=self.vocabulary,
+            vector_store=self.vector_store,
+            sim_cache=self.sim_cache,
+        )
+        self.shards = tuple(shards)
+        self._failed.add(index)
+
+    def promote_standby(self, index: int) -> FailoverReport:
+        """Put shard ``index``'s warm standby in service and re-protect it.
+
+        The promoted shard serves exactly what the failed primary
+        served at the last sync barrier (bit-for-bit identical queries
+        to a never-failed service fed the stream up to that barrier —
+        property-tested), and immediately resumes observing its
+        partition. A fresh standby is then built and fully synced from
+        the promoted primary, so the shard is protected against the
+        next failure without waiting for the interval cadence.
+        """
+        replicator = self._require_replication()
+        if index not in self._failed:
+            raise ReplicationError(
+                f"shard {index} is not failed; fail_shard({index}) first"
+            )
+        start = time.perf_counter()
+        replica = replicator.take(index)
+        shards = list(self.shards)
+        shards[index] = replica.farmer
+        self.shards = tuple(shards)
+        self._failed.discard(index)
+        self._last_active[index] = self._n_observed
+        promote_s = time.perf_counter() - start
+        start = time.perf_counter()
+        replicator.reseed(index)
+        reseed_s = time.perf_counter() - start
+        self._n_failovers += 1
+        return FailoverReport(
+            shard=index,
+            synced_at=replica.synced_at,
+            lag=self._n_observed - replica.synced_at,
+            n_nodes_restored=replica.farmer.constructor.graph.n_nodes(),
+            promote_s=promote_s,
+            reseed_s=reseed_s,
+        )
+
+    @property
+    def failed_shards(self) -> tuple[int, ...]:
+        """Currently-failed shard indexes, ascending (empty = healthy)."""
+        return tuple(sorted(self._failed))
+
+    @property
+    def last_standby_sync(self) -> int:
+        """Service-level accepted-request count at the most recent
+        standby sync barrier (0 before the first barrier) — the point a
+        failover right now would restore to."""
+        return self._last_standby_sync
+
+    @property
+    def n_failovers(self) -> int:
+        """Promotions performed so far."""
+        return self._n_failovers
+
+    @property
+    def n_idle_drains(self) -> int:
+        """Echo-queue drains triggered by the idle-shard rule."""
+        return self._n_idle_drains
+
+    @property
+    def n_echoes_dropped(self) -> int:
+        """Boundary echoes lost to failed destinations (in-flight at
+        failure time, or enqueued while the destination was down)."""
+        return self._n_echoes_dropped

@@ -15,7 +15,24 @@ from repro.core.cominer import RerankStats
 from repro.core.farmer import FarmerStats
 from repro.core.simcache import SimCacheStats
 
-__all__ = ["ServiceStats", "combine_cache_stats", "combine_rerank_stats"]
+__all__ = [
+    "ServiceStats",
+    "combine_cache_stats",
+    "combine_rerank_stats",
+    "load_signal",
+]
+
+
+def load_signal(n_observed: int, entries_scanned: int) -> float:
+    """The per-shard load metric fed into load-aware rebalancing:
+    requests absorbed (owned + echoes) plus re-rank entries scanned.
+
+    One definition for both readers — ``ShardedFarmer.shard_loads``
+    (the live decision input of ``auto_rebalance``) and
+    ``ServiceStats.shard_loads`` (the reported signal) — so the two can
+    never silently diverge.
+    """
+    return float(n_observed + entries_scanned)
 
 
 def combine_cache_stats(stats: list[SimCacheStats]) -> SimCacheStats:
@@ -78,6 +95,13 @@ class ServiceStats:
         n_rebalances: topology changes applied via ``rebalance()``.
         n_migrated_fids: fids whose graph node + ranked list were
             shipped between shards across all rebalances.
+        n_idle_drains: echo-queue drains triggered by the idle-shard
+            rule (``FarmerConfig.echo_idle_drain``).
+        n_echoes_dropped: boundary echoes lost to failed destinations
+            (in-flight at failure time or enqueued while down).
+        n_failovers: standby promotions performed.
+        n_standby_syncs: standby sync barriers run (0 with replication
+            disabled).
     """
 
     n_shards: int
@@ -89,6 +113,10 @@ class ServiceStats:
     n_echo_flushes: int = 0
     n_rebalances: int = 0
     n_migrated_fids: int = 0
+    n_idle_drains: int = 0
+    n_echoes_dropped: int = 0
+    n_failovers: int = 0
+    n_standby_syncs: int = 0
 
     @property
     def memory_megabytes(self) -> float:
@@ -123,3 +151,13 @@ class ServiceStats:
     def rerank(self) -> RerankStats:
         """Service-level re-rank op counters (shard counters summed)."""
         return combine_rerank_stats([s.rerank for s in self.shards])
+
+    @property
+    def shard_loads(self) -> tuple[float, ...]:
+        """Per-shard load signal (requests absorbed + re-rank entries
+        scanned) — what ``ShardedFarmer.auto_rebalance`` feeds into the
+        consistent-hash ring weights."""
+        return tuple(
+            load_signal(s.n_observed, s.rerank.entries_scanned)
+            for s in self.shards
+        )

@@ -30,6 +30,32 @@ def sequence_records(fids, **kwargs) -> list[TraceRecord]:
     return [make_record(fid, ts=i * 1000, **kwargs) for i, fid in enumerate(fids)]
 
 
+# one shared generate-or-reuse cache for the whole session: the same
+# helper the experiments use, so a test session that drives both the
+# service suites and service_experiment.run holds each big trace once.
+# The service/property suites share several 20k-record traces across
+# modules (~0.2s a generation); use this (or the ``synthetic_trace``
+# fixture) instead of calling ``generate_trace`` directly for any trace
+# of more than a few thousand records.
+from repro.experiments.common import cached_trace  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def synthetic_trace():
+    """Factory fixture over the session trace cache:
+    ``synthetic_trace("hp", 20_000, seed=13)``."""
+    return cached_trace
+
+
+@pytest.fixture(scope="session")
+def hp_trace_20k():
+    """The canonical 20k-record HP trace (seed 13) the acceptance
+    properties share: single-shard equivalence, rebalance from-scratch
+    identity, and the replication failover suite all mine this
+    workload."""
+    return cached_trace("hp", 20_000, 13)
+
+
 @pytest.fixture(scope="session")
 def hp_trace():
     """A small deterministic HP trace shared across tests."""

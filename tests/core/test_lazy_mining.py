@@ -27,11 +27,11 @@ def lazy_eager_pair(**kwargs) -> tuple[Farmer, Farmer]:
 
 
 class TestEagerLazyEquivalence:
-    def test_20k_trace_equivalence(self):
+    def test_20k_trace_equivalence(self, synthetic_trace):
         """Acceptance property: over a 20k-record synthetic trace, the
         lazy Farmer returns identical ``correlators()``/``predict()``
         results to the eager schedule at every query point."""
-        trace = generate_trace("hp", 20_000, seed=11)
+        trace = synthetic_trace("hp", 20_000, seed=11)
         lazy, eager = lazy_eager_pair(max_strength=0.3)
         seen: set[int] = set()
         for i, record in enumerate(trace):

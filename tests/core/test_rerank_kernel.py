@@ -26,10 +26,10 @@ def farmers_for(**common):
 
 
 class TestKernelEquivalence:
-    def test_20k_trace_equivalence_lazy(self):
+    def test_20k_trace_equivalence_lazy(self, synthetic_trace):
         """Acceptance property (lazy schedule): bulk (stamps on and
         off) and entrywise agree at every query point of a 20k trace."""
-        trace = generate_trace("hp", 20_000, seed=23)
+        trace = synthetic_trace("hp", 20_000, seed=23)
         farmers = farmers_for(max_strength=0.3)
         ref = farmers["entrywise"]
         seen: set[int] = set()

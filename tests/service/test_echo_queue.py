@@ -169,6 +169,82 @@ class TestBatchedDrain:
         assert batched.correlation_degree(2, 3) != sync.correlation_degree(2, 3)
 
 
+class TestIdleDrain:
+    """``echo_idle_drain``: the live trigger for idle destinations."""
+
+    def test_idle_gap_drains_queue_without_destination_activity(self):
+        """An idle shard's queue is delivered after the configured gap
+        of accepted requests elsewhere — it no longer waits for the
+        destination's own next request, query, or interval expiry."""
+        cfg = FarmerConfig(
+            max_strength=0.0,
+            n_shards=2,
+            weight_p=0.0,
+            echo_flush_interval=10_000,  # interval alone would never fire
+            echo_idle_drain=3,
+        )
+        service = ShardedFarmer(cfg)
+        for r in sequence_records([2, 3]):
+            service.observe(r)  # echo for idle shard 0 queued
+        assert service.n_pending_echoes == 1
+        # shard 1 keeps absorbing its own records; shard 0 stays idle
+        for r in sequence_records([5, 7, 9]):
+            service.observe(r)
+        assert service.n_pending_echoes == 0
+        assert service.n_idle_drains == 1
+        assert service.correlation_degree(2, 3) > 0.0
+        assert service.stats().n_idle_drains == 1
+
+    def test_destination_activity_resets_the_gap(self):
+        """Owned observations on the destination reset its idle clock
+        (they drain just-in-time anyway under interval 0, so the idle
+        trigger never fires for an active shard)."""
+        cfg = FarmerConfig(
+            max_strength=0.0, n_shards=2, weight_p=0.0, echo_idle_drain=4
+        )
+        service = ShardedFarmer(cfg)
+        # strict alternation: every shard is active every other request
+        for r in sequence_records([2, 3] * 10):
+            service.observe(r)
+        assert service.n_idle_drains == 0
+
+    def test_idle_drain_is_bit_identical_at_interval_zero(self):
+        """Under just-in-time mode an idle drain only moves delivery
+        *earlier* onto a shard nothing else touched, so results stay
+        bit-identical to the synchronous schedule — the JIT lockstep
+        property holds with the trigger armed."""
+        trace = generate_trace("hp", 4_000, seed=11)
+        queued = ShardedFarmer(
+            FarmerConfig(max_strength=0.3, n_shards=4, echo_idle_drain=5)
+        )
+        sync = ShardedFarmer(FarmerConfig(max_strength=0.3, n_shards=4))
+        for record in trace:
+            queued.observe(record)
+            sync.observe(record)
+            sync.flush_echoes()
+            assert queued.predict(record.fid) == sync.predict(record.fid)
+            assert queued.correlators(record.fid) == sync.correlators(record.fid)
+        assert queued.snapshot() == sync.snapshot()
+
+    def test_idle_drain_under_interval_mode_bounds_staleness(self):
+        """Batched mode with the trigger: a queue never sits longer
+        than the idle gap once its destination goes quiet."""
+        cfg = FarmerConfig(
+            max_strength=0.0,
+            n_shards=2,
+            weight_p=0.0,
+            echo_flush_interval=1_000,
+            echo_idle_drain=2,
+        )
+        service = ShardedFarmer(cfg)
+        for r in sequence_records([2, 3, 5]):
+            service.observe(r)
+        # 3's echo to shard 0 enqueued at request 2; requests 2 and 3
+        # (fids 3, 5) both landed elsewhere -> gap reached, drained
+        assert service.n_pending_echoes == 0
+        assert service.n_idle_drains == 1
+
+
 class TestStatsSurface:
     def test_stats_reports_echo_counters(self):
         cfg = FarmerConfig(n_shards=4, echo_flush_interval=64)

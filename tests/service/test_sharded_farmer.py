@@ -42,10 +42,10 @@ def remap_fids(records, scale: int, residue: int) -> list[TraceRecord]:
 
 
 class TestSingleShardEquivalence:
-    def test_20k_trace_bit_for_bit(self):
+    def test_20k_trace_bit_for_bit(self, hp_trace_20k):
         """Acceptance property: ``ShardedFarmer(n_shards=1)`` matches a
         plain Farmer on every query over a 20k-record synthetic trace."""
-        trace = generate_trace("hp", 20_000, seed=13)
+        trace = hp_trace_20k
         plain = Farmer(FarmerConfig(max_strength=0.3))
         service = ShardedFarmer(FarmerConfig(max_strength=0.3, n_shards=1))
         for i, record in enumerate(trace):
