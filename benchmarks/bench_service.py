@@ -218,6 +218,16 @@ def bench_parallel_mine(benchmark, hp_bench_trace, bench_record, backend):
         f"ingest {report.ingest_s * 1e3:.0f}ms, "
         f"flush {report.flush_s * 1e3:.0f}ms]"
     )
+    if backend == "process":
+        # the shared-snapshot protocol: per-dispatch payloads (token +
+        # touched nodes + fids) must stay far below shipping the whole
+        # shard (graph + vector store + vocabulary) per dispatch
+        assert 0 < report.dispatch_bytes
+        assert 0 < report.shared_bytes
+        print(
+            f"[process dispatch: {report.dispatch_bytes:,} payload bytes + "
+            f"{report.shared_bytes:,} once-per-batch snapshot bytes]"
+        )
     bench_record(
         wall_clock_records_per_s=report.throughput,
         partition_s=report.partition_s,
@@ -225,6 +235,8 @@ def bench_parallel_mine(benchmark, hp_bench_trace, bench_record, backend):
         flush_s=report.flush_s,
         elapsed_s=report.elapsed_s,
         n_workers=report.n_workers,
+        dispatch_bytes=report.dispatch_bytes,
+        shared_bytes=report.shared_bytes,
         lists_equal_sequential=True,
     )
 
@@ -376,11 +388,18 @@ def bench_standby_sync_overhead(benchmark, hp_bench_trace, bench_record):
     stats = replicated.stats()
     assert stats.n_standby_syncs == len(hp_bench_trace) // 500
     overhead = replicated_s / plain_s if plain_s > 0 else 1.0
+    # how the shipped nodes travelled across all barriers: in-place
+    # successor-array deltas (same membership at the standby) vs
+    # whole-node clones — steady-state barriers should go mostly delta
+    replicas = replicated._replicator.replicas
+    n_delta = sum(r.n_delta_syncs for r in replicas)
+    n_clone = sum(r.n_full_clones for r in replicas)
     print(
         f"\n[standby sync overhead: {overhead:.2f}x wall clock "
         f"({stats.n_standby_syncs} barriers over {len(hp_bench_trace)} "
         f"records; plain {plain_s * 1e3:.0f}ms vs replicated "
-        f"{replicated_s * 1e3:.0f}ms]"
+        f"{replicated_s * 1e3:.0f}ms; shipped {n_delta} array deltas + "
+        f"{n_clone} full clones]"
     )
     bench_record(
         sync_overhead_ratio=overhead,
@@ -388,6 +407,8 @@ def bench_standby_sync_overhead(benchmark, hp_bench_trace, bench_record):
         replicated_observe_predict_s=replicated_s,
         n_standby_syncs=stats.n_standby_syncs,
         standby_sync_interval=500,
+        n_delta_syncs=n_delta,
+        n_full_clones=n_clone,
     )
 
 

@@ -34,20 +34,39 @@ from repro.service import (
     ServiceStats,
     ShardedFarmer,
 )
-from repro.storage import (
-    FarmerPrefetcher,
-    LatencyModel,
-    NoPrefetcher,
-    PredictorPrefetcher,
-    ShardedFarmerPrefetcher,
-    SimulationConfig,
-    SimulationReport,
-    run_simulation,
-)
-from repro.traces import TRACE_NAMES, TraceRecord, generate_trace, make_workload
+from repro.traces import TraceRecord
 from repro.vsm import SemanticVector, Vocabulary, similarity
 
 __version__ = "1.0.0"
+
+# The storage simulator and the synthetic trace generators are
+# numpy-backed; they are re-exported lazily (PEP 562) so the mining
+# core (vsm → graph → core → service) stays importable — and usable on
+# hand-built TraceRecord streams — on a numpy-free interpreter. The
+# no-numpy CI leg pins this.
+_STORAGE_NAMES = (
+    "FarmerPrefetcher",
+    "LatencyModel",
+    "NoPrefetcher",
+    "PredictorPrefetcher",
+    "ShardedFarmerPrefetcher",
+    "SimulationConfig",
+    "SimulationReport",
+    "run_simulation",
+)
+_TRACE_GEN_NAMES = ("TRACE_NAMES", "generate_trace", "make_workload")
+
+
+def __getattr__(name: str):
+    if name in _STORAGE_NAMES:
+        from repro import storage
+
+        return getattr(storage, name)
+    if name in _TRACE_GEN_NAMES:
+        from repro import traces
+
+        return getattr(traces, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "DEFAULT_ATTRIBUTES",

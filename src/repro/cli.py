@@ -176,6 +176,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="private similarity cache per shard instead of the shared one",
     )
     svc_p.add_argument(
+        "--kernel",
+        choices=("bulk", "entrywise", "array"),
+        default="bulk",
+        help=(
+            "re-rank kernel: bulk (pure-python one-pass, the default), "
+            "entrywise (per-edge reference), or array (vectorized over "
+            "numpy; bit-identical output, fastest)"
+        ),
+    )
+    svc_p.add_argument(
         "--freeze",
         type=int,
         default=0,
@@ -230,6 +240,7 @@ def _run_service(args: argparse.Namespace) -> int:
         echo_idle_drain=args.idle_drain,
         replication=args.replicate,
         standby_sync_interval=args.sync_interval,
+        rerank_kernel=args.kernel,
     )
     records = generate_trace(args.trace, args.events, seed=args.seed)
     predict = not args.no_predict

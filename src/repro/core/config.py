@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import importlib.util
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigError
@@ -57,18 +58,29 @@ class FarmerConfig:
         rerank_kernel: how the full Algorithm-1 re-rank materialises a
             Correlator List — "bulk" (default: one-pass candidate
             evaluation + a single sort/threshold/capacity cut via
-            ``CorrelatorList.rebuild``) or "entrywise" (offer every
+            ``CorrelatorList.rebuild``), "entrywise" (offer every
             successor through ``CorrelatorList.update``, a binary
             insertion each — the reference path the equivalence tests
-            compare against; both produce bit-identical lists).
+            compare against), or "array" (batch-vectorized: Function-1
+            and Function-2 evaluated with numpy over every candidate of
+            every flushed list at once, reading the graph's flat
+            successor arrays directly; requires numpy and raises
+            ``ConfigError`` without it). All three produce bit-identical
+            lists.
         incremental_rerank: if True (default), the re-rank keeps a
             ``(vector-version pair, N_xy, N_x)`` stamp per Correlator
             entry and skips both Function 1 and Function 2 for
             successors whose inputs are unchanged since the last rank —
             the incremental path that only touches the delta. False
             recomputes every degree on every re-rank (the reference
-            schedule; results are bit-identical either way). Only
-            meaningful with the "bulk" kernel.
+            schedule; results are bit-identical either way). With the
+            "bulk" kernel the stamps also enable a whole-list skip:
+            when a list's node tick and the vector-store epoch both
+            match its last rank, the candidate scan is skipped outright
+            (``RerankStats.entries_skipped_unchanged`` still advances).
+            The "array" kernel keeps its own per-source rank records
+            (similarity rows keyed by vector versions) independent of
+            this flag; "entrywise" ignores it.
         vector_freeze_threshold: if > 0, a file's semantic vector is
             frozen (updates ignored, version stops bumping) once it has
             changed this many times — the vector-stability heuristic. A
@@ -216,8 +228,16 @@ class FarmerConfig:
             raise ConfigError("prefetch_k must be >= 0")
         if self.sim_cache_capacity < 0:
             raise ConfigError("sim_cache_capacity must be >= 0")
-        if self.rerank_kernel not in ("bulk", "entrywise"):
+        if self.rerank_kernel not in ("bulk", "entrywise", "array"):
             raise ConfigError(f"unknown rerank kernel {self.rerank_kernel!r}")
+        if (
+            self.rerank_kernel == "array"
+            and importlib.util.find_spec("numpy") is None
+        ):
+            raise ConfigError(
+                "rerank_kernel='array' requires numpy, which is not "
+                "installed; use the pure-python 'bulk' kernel instead"
+            )
         if self.vector_freeze_threshold < 0:
             raise ConfigError("vector_freeze_threshold must be >= 0")
         if self.n_shards < 1:

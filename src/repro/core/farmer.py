@@ -178,21 +178,25 @@ class Farmer:
     def ingest(self, records: Iterable[TraceRecord]) -> set[int]:
         """The ingest half of :meth:`mine` (echo-free streams): feed
         graph and vectors only, deferring every flush; returns the
-        touched fids."""
+        touched fids.
+
+        Runs as two batch passes — all vector folds, then all graph
+        observations — which is equivalent to the interleaved per-record
+        order (the two stores share no state), and lets each store use
+        its hoisted batch path (:meth:`VectorStore.update_batch` defers
+        merged-vector builds; :meth:`CorrelationGraph.observe_batch`
+        walks the window over the batch list itself).
+        """
         op_filter = self.config.op_filter
+        if op_filter is None:
+            if not isinstance(records, list):
+                records = list(records)
+        else:
+            records = [r for r in records if r.op in op_filter]
         constructor = self.constructor
-        vectors_update = constructor.vectors.update
-        graph_observe = constructor.graph.observe
-        changed: set[int] = set()
-        add, absorb = changed.add, changed.update
-        n = 0
-        for record in records:
-            if op_filter is None or record.op in op_filter:
-                vectors_update(record)
-                add(record.fid)
-                absorb(graph_observe(record.fid))
-                n += 1
-        self._n_observed += n
+        constructor.vectors.update_batch(records)
+        changed = constructor.graph.observe_batch([r.fid for r in records])
+        self._n_observed += len(records)
         return changed
 
     def mine_mixed(
@@ -223,20 +227,21 @@ class Farmer:
         sharded service ingests *all* shards' substreams before flushing
         any of them, so cross-shard Correlator entries rank against the
         fully-updated shared vector store rather than whichever prefix
-        happened to be ingested first."""
+        happened to be ingested first.
+
+        Echoes skip the vector pass, so splitting into one vector batch
+        (owned records, stream order) and one graph batch (all records,
+        stream order) preserves per-record semantics exactly."""
         op_filter = self.config.op_filter
+        pairs = [
+            (r, e)
+            for r, e in records
+            if op_filter is None or r.op in op_filter
+        ]
         constructor = self.constructor
-        changed: set[int] = set()
-        for record, is_echo in records:
-            if op_filter is not None and record.op not in op_filter:
-                continue
-            if is_echo:
-                fid, touched = constructor.observe_graph(record)
-            else:
-                fid, touched = constructor.observe(record)
-            changed.add(fid)
-            changed.update(touched)
-            self._n_observed += 1
+        constructor.vectors.update_batch([r for r, e in pairs if not e])
+        changed = constructor.graph.observe_batch([r.fid for r, _ in pairs])
+        self._n_observed += len(pairs)
         return changed
 
     # ------------------------------------------------------------------

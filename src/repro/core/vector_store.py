@@ -74,6 +74,7 @@ class VectorStore:
         self.extractor = extractor
         self._vectors: dict[int, SemanticVector] = {}
         self._versions: dict[int, int] = {}
+        self._epoch = 0
         self._merge: dict[int, _MergeState] = {}
         # path string -> interned component ids; paths repeat across the
         # namespace, so tokenisation+interning is paid once per path
@@ -93,6 +94,7 @@ class VectorStore:
         if self._vectors.get(fid) != vector:
             self._vectors[fid] = vector
             self._versions[fid] = self._versions.get(fid, 0) + 1
+            self._epoch += 1
 
     def _store_changed(self, fid: int, vector: SemanticVector) -> None:
         """Install a vector the caller knows differs from the stored one
@@ -100,6 +102,7 @@ class VectorStore:
         probe of :meth:`_store` would always say "changed")."""
         self._vectors[fid] = vector
         self._versions[fid] = self._versions.get(fid, 0) + 1
+        self._epoch += 1
 
     def is_frozen(self, fid: int) -> bool:
         """Whether ``fid``'s vector has saturated and no longer updates."""
@@ -164,6 +167,93 @@ class VectorStore:
             # so this path keeps the equality probe
             self._store(fid, self._build_merged(state))
 
+    def update_batch(self, records) -> None:
+        """Fold a whole batch of requests, deferring merged-vector builds.
+
+        Semantically identical to calling :meth:`update` per record —
+        same final vectors, same per-file *version trajectory* (the
+        freeze threshold and the similarity cache key on versions, so
+        the trajectory is part of the contract) — but under the "merge"
+        policy the actual :class:`~repro.vsm.vector.SemanticVector`
+        construction is deferred: a version bump is provable from the
+        bucket fold alone (a bucket gaining a namespaced id it lacked
+        guarantees a different vector), so a file touched k times in the
+        batch is rebuilt once at the end instead of k times. The one
+        case that needs the stored vector mid-batch — a changed path
+        *string* with unchanged buckets, whose new ids may tokenise
+        equal — materialises the pending build first and keeps the
+        equality probe. Deferred builds are flushed before returning,
+        so no stale vector is ever visible outside this call.
+        """
+        policy = self._policy
+        if policy != "merge":
+            # "first"/"latest" build straight from the record (extract
+            # *is* the build — no rebuild redundancy to defer)
+            for record in records:
+                self.update(record)
+            return
+        threshold = self._freeze_threshold
+        versions = self._versions
+        vectors = self._vectors
+        merge = self._merge
+        cap = self._merge_cap
+        vocab = self.extractor.vocabulary
+        getters = self._getters
+        wants_path = self._wants_path
+        pending: set[int] = set()
+        for record in records:
+            fid = record.fid
+            if threshold > 0 and versions.get(fid, 0) >= threshold:
+                continue
+            state = merge.get(fid)
+            if state is None:
+                state = _MergeState()
+                merge[fid] = state
+            values = state.values
+            changed = False
+            for attr, getter in getters:
+                value = getter(record)
+                if value is None:
+                    continue
+                bucket = values.get(attr)
+                if bucket is None:
+                    bucket = OrderedDict()
+                    values[attr] = bucket
+                if value in bucket:
+                    bucket.move_to_end(value)
+                else:
+                    changed = True
+                    bucket[value] = vocab.scalar_token(attr, value)
+                    if len(bucket) > cap:
+                        bucket.popitem(last=False)
+            new_path = record.path if wants_path else None
+            path_changed = new_path is not None and new_path != state.path
+            known = fid in vectors or fid in pending
+            if not changed and path_changed and known:
+                # the only branch whose bump decision needs the stored
+                # vector (new path ids may tokenise equal): settle any
+                # pending build first — this record left the buckets
+                # untouched, so the pre-fold vector is still current
+                if fid in pending:
+                    vectors[fid] = self._build_merged(state)
+                    pending.discard(fid)
+                state.path = new_path
+                state.path_ids = self._resolve_path_ids(new_path)
+                self._store(fid, self._build_merged(state))
+            else:
+                if path_changed:
+                    state.path = new_path
+                    state.path_ids = self._resolve_path_ids(new_path)
+                if changed or path_changed or not known:
+                    # provable bump: a bucket gained an id it lacked, or
+                    # the fid is new (first store always bumps) — defer
+                    # the build, count the version now
+                    versions[fid] = versions.get(fid, 0) + 1
+                    self._epoch += 1
+                    pending.add(fid)
+        for fid in pending:
+            vectors[fid] = self._build_merged(merge[fid])
+
     def _build_merged(self, state: _MergeState) -> SemanticVector:
         scalars: list[int] = []
         for bucket in state.values.values():
@@ -186,6 +276,13 @@ class VectorStore:
     def version_of(self, fid: int) -> int:
         """Version of ``fid``'s vector: 0 if unseen, then +1 per change."""
         return self._versions.get(fid, 0)
+
+    def epoch(self) -> int:
+        """Monotonic store-wide change counter: bumps once per version
+        bump anywhere in the store, so a consumer holding the epoch it
+        last read at can tell in O(1) whether *any* vector changed —
+        the array kernel's whole-batch similarity-reuse gate."""
+        return self._epoch
 
     def maps(self) -> tuple[dict[int, SemanticVector], dict[int, int]]:
         """The live ``(fid → vector, fid → version)`` dicts — the bulk
@@ -233,6 +330,10 @@ class ThreadSafeVectorStore(VectorStore):
     def update(self, record: TraceRecord) -> None:
         with self._lock:
             super().update(record)
+
+    def update_batch(self, records) -> None:
+        with self._lock:
+            super().update_batch(records)
 
     def approx_bytes(self) -> int:
         with self._lock:

@@ -10,13 +10,49 @@ the paper's small-memory claim honestly) each node's successor table has
 a configurable capacity; when full, the weakest edge is evicted. The
 paper's filtering makes strong edges keep growing, so eviction converges
 to the truly correlated set.
+
+Array-backed successor layout
+-----------------------------
+
+A node's successor table is stored as parallel flat arrays (stdlib
+``array`` — pure-python complete, zero-copy viewable by numpy) in
+insertion order, plus a ``fid → slot`` index:
+
+* ``succ_fids``    (int64)   — successor fids;
+* ``succ_weights`` (float64) — LDA-weighted counts ``N_xy``;
+* ``succ_raw``     (int64)   — raw co-occurrence counts;
+* ``succ_last``    (int64)   — last observed window distance.
+
+The layout buys three things. Re-rank kernels read a node's whole
+candidate set as contiguous slices (the "array" kernel hands
+``succ_weights`` straight to numpy). ``clone`` / ``pop_node`` /
+``adopt_node`` — the rebalance-migration and standby-sync ship units —
+are four C-level array copies instead of a per-edge object walk. And
+membership changes are observable in O(1): ``succ_version`` bumps on
+every add/evict, so two nodes (or a node and a recorded snapshot) with
+equal ``succ_version`` provably hold the same fids in the same slots,
+which is what lets :meth:`NodeState.copy_stats_from` refresh a standby
+replica by in-place slice assignment (a memcpy per array).
+
+Eviction preserves the historical tie-break exactly: the victim is the
+*first* minimum-weight slot in insertion order (what the previous
+dict-backed scan chose), removed with ``del`` so insertion order — and
+therefore every downstream iteration order — is unchanged. The weakest
+edge is almost always a recently added one, so the shift-down and index
+repair touch the array tail, not the whole node.
+
+``EdgeStats`` survives as the per-edge *view* type:
+:meth:`CorrelationGraph.successors` materialises a plain
+``fid → EdgeStats`` dict on demand for diagnostic and reference-path
+consumers. Mutations still go through :meth:`CorrelationGraph.observe`.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
 from collections.abc import Iterable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.graph.lda import lda_weight
@@ -26,7 +62,8 @@ __all__ = ["EdgeStats", "NodeState", "CorrelationGraph"]
 
 @dataclass(slots=True)
 class EdgeStats:
-    """Accumulated statistics of one directed edge A→B."""
+    """Read view of one directed edge A→B (see module docstring: the
+    authoritative storage is the owning node's parallel arrays)."""
 
     weighted_count: float = 0.0
     raw_count: int = 0
@@ -37,7 +74,7 @@ class EdgeStats:
         return 48
 
     def clone(self) -> "EdgeStats":
-        """An independent copy (the standby-replication ship unit)."""
+        """An independent copy."""
         return EdgeStats(
             weighted_count=self.weighted_count,
             raw_count=self.raw_count,
@@ -45,32 +82,136 @@ class EdgeStats:
         )
 
 
-@dataclass(slots=True)
 class NodeState:
-    """Per-file graph state: access count, successor table and a change
-    tick that advances whenever either mutates (the miner compares ticks
-    to skip re-evaluating files whose graph state is unchanged)."""
+    """Per-file graph state: access count, array-backed successor table
+    and a change tick that advances whenever either mutates (the miner
+    compares ticks to skip re-evaluating files whose graph state is
+    unchanged). ``succ_version`` advances only on successor *membership*
+    changes (add/evict), never on in-place weight updates."""
 
-    access_count: int = 0
-    successors: dict[int, EdgeStats] = field(default_factory=dict)
-    change_tick: int = 0
+    __slots__ = (
+        "access_count",
+        "change_tick",
+        "succ_version",
+        "succ_fids",
+        "succ_weights",
+        "succ_raw",
+        "succ_last",
+        "_slots",
+    )
+
+    def __init__(self) -> None:
+        self.access_count = 0
+        self.change_tick = 0
+        self.succ_version = 0
+        self.succ_fids = array("q")
+        self.succ_weights = array("d")
+        self.succ_raw = array("q")
+        self.succ_last = array("q")
+        self._slots: dict[int, int] = {}
+
+    @property
+    def successors(self) -> dict[int, EdgeStats]:
+        """The successor table as a freshly built ``fid → EdgeStats``
+        dict, in insertion order (a *snapshot* — mutating the returned
+        edge objects does not write back to the node)."""
+        return {
+            fid: EdgeStats(w, raw, last)
+            for fid, w, raw, last in zip(
+                self.succ_fids, self.succ_weights, self.succ_raw, self.succ_last
+            )
+        }
+
+    def slot_of(self, fid: int) -> int | None:
+        """Array slot of successor ``fid`` (None if absent)."""
+        return self._slots.get(fid)
+
+    def evict_weakest(self) -> int:
+        """Drop the first minimum-weight successor in insertion order
+        (the historical dict-scan tie-break) and return its fid."""
+        weights = self.succ_weights
+        victim = 0
+        weakest = weights[0]
+        for i in range(1, len(weights)):
+            w = weights[i]
+            if w < weakest:
+                weakest = w
+                victim = i
+        fids = self.succ_fids
+        slots = self._slots
+        del slots[fids[victim]]
+        del fids[victim]
+        del weights[victim]
+        del self.succ_raw[victim]
+        del self.succ_last[victim]
+        # repair the index for the shifted tail (the weakest edge is
+        # usually young, so the tail is short)
+        for i in range(victim, len(fids)):
+            slots[fids[i]] = i
+        self.succ_version += 1
+        return victim
+
+    def copy_stats_from(self, other: "NodeState") -> None:
+        """In-place refresh from ``other``, which must hold the *same
+        successor membership* (equal ``succ_version`` — the caller's
+        contract): counters copied, per-edge arrays overwritten by slice
+        assignment (a memcpy each). This is the standby-sync delta path:
+        no allocation, no index rebuild."""
+        self.access_count = other.access_count
+        self.change_tick = other.change_tick
+        self.succ_weights[:] = other.succ_weights
+        self.succ_raw[:] = other.succ_raw
+        self.succ_last[:] = other.succ_last
 
     def approx_bytes(self) -> int:
-        """Approximate resident size of this node and its edges."""
-        return 80 + sum(104 + e.approx_bytes() for e in self.successors.values())
+        """Approximate resident size of this node and its edge arrays."""
+        # 4 array objects + slots-dict entries + 32 payload bytes/edge
+        return 80 + 4 * 64 + 136 * len(self.succ_fids)
 
     def clone(self) -> "NodeState":
-        """A deep, independent copy of the node and its edge records.
+        """A deep, independent copy of the node and its edge arrays.
 
         Shard replication *copies* state where rebalance migration
         *moves* it: the primary keeps mutating its node, so the standby
-        must hold its own edge objects, not aliases.
+        must hold its own arrays, not aliases. With the flat layout this
+        is four C-level array copies plus one dict copy.
         """
-        return NodeState(
-            access_count=self.access_count,
-            successors={fid: e.clone() for fid, e in self.successors.items()},
-            change_tick=self.change_tick,
+        new = NodeState.__new__(NodeState)
+        new.access_count = self.access_count
+        new.change_tick = self.change_tick
+        new.succ_version = self.succ_version
+        new.succ_fids = self.succ_fids[:]
+        new.succ_weights = self.succ_weights[:]
+        new.succ_raw = self.succ_raw[:]
+        new.succ_last = self.succ_last[:]
+        new._slots = self._slots.copy()
+        return new
+
+    # explicit pickle support: __slots__ classes have no __dict__, and the
+    # process-backend runner ships nodes to its workers per dispatch
+    def __getstate__(self):
+        return (
+            self.access_count,
+            self.change_tick,
+            self.succ_version,
+            self.succ_fids,
+            self.succ_weights,
+            self.succ_raw,
+            self.succ_last,
+            self._slots,
         )
+
+    def __setstate__(self, state) -> None:
+        (
+            self.access_count,
+            self.change_tick,
+            self.succ_version,
+            self.succ_fids,
+            self.succ_weights,
+            self.succ_raw,
+            self.succ_last,
+            self._slots,
+        ) = state
 
 
 class CorrelationGraph:
@@ -130,50 +271,90 @@ class CorrelationGraph:
         for distance, pred in enumerate(reversed(self._recent), start=1):
             if pred == fid or pred in touched:
                 continue
-            # inlined _add_edge — this loop body runs per (window, record)
             pnode = nodes.get(pred)
             if pnode is None:  # pred seen only through the window
                 pnode = NodeState()
                 nodes[pred] = pnode
             pnode.change_tick += 1
-            successors = pnode.successors
-            edge = successors.get(fid)
-            if edge is None:
-                if len(successors) >= capacity:
-                    self._evict_weakest(pnode)
-                edge = EdgeStats()
-                successors[fid] = edge
-            edge.weighted_count += weights[distance - 1]
-            edge.raw_count += 1
-            edge.last_distance = distance
+            slot = pnode._slots.get(fid)
+            if slot is None:
+                if len(pnode.succ_fids) >= capacity:
+                    pnode.evict_weakest()
+                pnode._slots[fid] = len(pnode.succ_fids)
+                pnode.succ_fids.append(fid)
+                pnode.succ_weights.append(weights[distance - 1])
+                pnode.succ_raw.append(1)
+                pnode.succ_last.append(distance)
+                pnode.succ_version += 1
+            else:
+                pnode.succ_weights[slot] += weights[distance - 1]
+                pnode.succ_raw[slot] += 1
+                pnode.succ_last[slot] = distance
             touched.append(pred)
         self._recent.append(fid)
         return touched
 
-    def _add_edge(self, src: int, dst: int, distance: int) -> None:
-        node = self._nodes.get(src)
-        if node is None:  # src seen only through the window (shouldn't happen)
-            node = NodeState()
-            self._nodes[src] = node
-        node.change_tick += 1
-        edge = node.successors.get(dst)
-        if edge is None:
-            if len(node.successors) >= self.successor_capacity:
-                self._evict_weakest(node)
-            edge = EdgeStats()
-            node.successors[dst] = edge
-        edge.weighted_count += self._weights[distance - 1]
-        edge.raw_count += 1
-        edge.last_distance = distance
+    def observe_batch(self, fids: list[int]) -> set[int]:
+        """Feed a whole batch of accesses; returns every touched fid
+        (the observed files plus every predecessor whose edges changed).
 
-    @staticmethod
-    def _evict_weakest(node: NodeState) -> None:
-        victim = weakest = None
-        for fid, edge in node.successors.items():
-            if weakest is None or edge.weighted_count < weakest:
-                weakest = edge.weighted_count
-                victim = fid
-        del node.successors[victim]
+        Semantically identical to calling :meth:`observe` per fid — the
+        batch form exists because ``Farmer.ingest`` is the throughput
+        path: the sliding window is walked over the batch list itself
+        (seeded with the current window) instead of mutating the deque
+        per record, and the per-record bookkeeping is hoisted.
+        """
+        nodes = self._nodes
+        get = nodes.get
+        weights = self._weights
+        capacity = self.successor_capacity
+        window = self.window
+        seq = list(self._recent)
+        start = len(seq)
+        seq += fids
+        touched: set[int] = set()
+        add_touched = touched.add
+        local: list[int] = []  # per-record seen-set (≤ window entries)
+        for i in range(start, len(seq)):
+            fid = seq[i]
+            node = get(fid)
+            if node is None:
+                node = NodeState()
+                nodes[fid] = node
+            node.access_count += 1
+            node.change_tick += 1
+            add_touched(fid)
+            lo = i - window
+            if lo < 0:
+                lo = 0
+            local.clear()
+            for j in range(i - 1, lo - 1, -1):
+                pred = seq[j]
+                if pred == fid or pred in local:
+                    continue
+                pnode = get(pred)
+                if pnode is None:
+                    pnode = NodeState()
+                    nodes[pred] = pnode
+                pnode.change_tick += 1
+                slot = pnode._slots.get(fid)
+                if slot is None:
+                    if len(pnode.succ_fids) >= capacity:
+                        pnode.evict_weakest()
+                    pnode._slots[fid] = len(pnode.succ_fids)
+                    pnode.succ_fids.append(fid)
+                    pnode.succ_weights.append(weights[i - j - 1])
+                    pnode.succ_raw.append(1)
+                    pnode.succ_last.append(i - j)
+                    pnode.succ_version += 1
+                else:
+                    pnode.succ_weights[slot] += weights[i - j - 1]
+                    pnode.succ_raw[slot] += 1
+                    pnode.succ_last[slot] = i - j
+                local.append(pred)
+                add_touched(pred)
+        self._recent = deque(seq[-window:], maxlen=window)
+        return touched
 
     # ------------------------------------------------------------------
     # migration (the shard-rebalancing seam)
@@ -228,14 +409,16 @@ class CorrelationGraph:
         return node.change_tick if node else 0
 
     def successors(self, fid: int) -> dict[int, EdgeStats]:
-        """Successor table of a file (live view; empty dict if none)."""
+        """Successor table of a file as a ``fid → EdgeStats`` snapshot
+        in insertion order (empty dict if none). Built on demand from
+        the node's arrays — a read view, not the storage."""
         node = self._nodes.get(fid)
         return node.successors if node else {}
 
     def node_map(self) -> dict[int, NodeState]:
         """The live ``fid → NodeState`` dict — the re-rank kernel's read
-        view (one lookup yields successors, access count and change tick
-        together). Treat strictly as read-only; writes go through
+        view (one lookup yields successor arrays, access count and change
+        tick together). Treat strictly as read-only; writes go through
         :meth:`observe`."""
         return self._nodes
 
@@ -248,10 +431,10 @@ class CorrelationGraph:
         node = self._nodes.get(src)
         if node is None or node.access_count == 0:
             return 0.0
-        edge = node.successors.get(dst)
-        if edge is None:
+        slot = node._slots.get(dst)
+        if slot is None:
             return 0.0
-        return min(1.0, edge.weighted_count / node.access_count)
+        return min(1.0, node.succ_weights[slot] / node.access_count)
 
     def frequencies(self, src: int) -> dict[int, float]:
         """``F(src, ·)`` for every successor of ``src``."""
@@ -260,7 +443,8 @@ class CorrelationGraph:
             return {}
         n = node.access_count
         return {
-            dst: min(1.0, e.weighted_count / n) for dst, e in node.successors.items()
+            dst: min(1.0, w / n)
+            for dst, w in zip(node.succ_fids, node.succ_weights)
         }
 
     def n_nodes(self) -> int:
@@ -269,7 +453,7 @@ class CorrelationGraph:
 
     def n_edges(self) -> int:
         """Number of directed edges currently retained."""
-        return sum(len(n.successors) for n in self._nodes.values())
+        return sum(len(n.succ_fids) for n in self._nodes.values())
 
     def nodes(self) -> list[int]:
         """All file ids present in the graph."""

@@ -28,11 +28,22 @@ best seen, independent of offer order).
 from __future__ import annotations
 
 from bisect import bisect_left, insort
+from heapq import nsmallest
 from typing import NamedTuple
 
 from repro.errors import ConfigError
 
+try:  # numpy is optional: only the array re-rank kernel needs it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
 __all__ = ["CorrelatorEntry", "CorrelatorList"]
+
+# Below this many above-threshold candidates a full C sort beats a heap
+# partial-select (or an argpartition round-trip through numpy), so the
+# partial paths only engage past it. Any value preserves exact output.
+_PARTIAL_SELECT_MIN = 64
 
 
 def _sort_key(entry: "CorrelatorEntry") -> tuple[float, int]:
@@ -106,16 +117,69 @@ class CorrelatorList:
         capacity cut. Candidates must have unique fids. The result is
         identical to offering every candidate through :meth:`update` on
         an empty list, without the per-entry binary insertions.
+
+        When many more candidates survive the threshold than fit the
+        capacity, a heap partial-select (``heapq.nsmallest``) replaces
+        the full sort — O(d log k) instead of O(d log d), same exact
+        result (``nsmallest(k, keyed)`` ≡ ``sorted(keyed)[:k]`` and the
+        ``(-degree, fid)`` keys are unique).
         """
         threshold = self.threshold
-        # sort raw (-degree, fid) tuples: native tuple comparison in C,
+        capacity = self.capacity
+        # rank raw (-degree, fid) tuples: native tuple comparison in C,
         # no per-entry key-function call (exact sign-flip round-trips)
-        keyed = sorted(
+        keyed = [
             (-degree, fid) for fid, degree in candidates if degree > threshold
-        )
-        del keyed[self.capacity :]
+        ]
+        if len(keyed) > capacity and len(keyed) >= _PARTIAL_SELECT_MIN:
+            keyed = nsmallest(capacity, keyed)
+        else:
+            keyed.sort()
+            del keyed[capacity:]
         self._entries = [CorrelatorEntry(fid, -neg) for neg, fid in keyed]
         self._degrees = {fid: -neg for neg, fid in keyed}
+
+    def rebuild_arrays(self, fids, degrees) -> None:
+        """:meth:`rebuild` over parallel numpy arrays (the array-kernel
+        path): ``fids`` int64 and ``degrees`` float64, same exact output
+        as ``rebuild(zip(fids, degrees))``.
+
+        Past the partial-select cutoff the capacity cut runs as an
+        ``np.partition`` on the negated degrees with explicit boundary
+        handling — the strictly-better prefix is kept wholesale and the
+        boundary-degree ties are filled by ascending fid, which is
+        precisely the ``(-degree, fid)`` order a full sort would use.
+        """
+        np = _np
+        neg = -degrees
+        mask = degrees > self.threshold
+        if not mask.all():
+            neg = neg[mask]
+            fids = fids[mask]
+        n = len(neg)
+        if n == 0:
+            self._entries = []
+            self._degrees = {}
+            return
+        capacity = self.capacity
+        if n > capacity and n >= _PARTIAL_SELECT_MIN:
+            kth = np.partition(neg, capacity - 1)[capacity - 1]
+            better = neg < kth
+            n_better = int(np.count_nonzero(better))
+            need = capacity - n_better
+            tie_fids = fids[neg == kth]
+            if need < len(tie_fids):
+                # break boundary ties by ascending fid (fids are unique)
+                tie_fids = np.partition(tie_fids, need - 1)[:need]
+            neg = np.concatenate([neg[better], np.full(len(tie_fids), kth)])
+            fids = np.concatenate([fids[better], tie_fids])
+            n = len(neg)
+        order = np.lexsort((fids, neg))
+        if n > capacity:
+            order = order[:capacity]
+        pairs = list(zip(fids[order].tolist(), (-neg[order]).tolist()))
+        self._entries = [CorrelatorEntry(f, d) for f, d in pairs]
+        self._degrees = dict(pairs)
 
     def _remove(self, fid: int, degree: float) -> None:
         del self._degrees[fid]

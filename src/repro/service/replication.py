@@ -79,6 +79,12 @@ class StandbySyncReport:
     n_shards_synced: int
     n_nodes_shipped: int
     elapsed_s: float
+    # how the shipped nodes travelled: in-place successor-array deltas
+    # (three slice-assign memcpys into the standby's existing node) vs
+    # whole-node clones (membership changed since the last barrier, or
+    # the standby had no copy yet)
+    n_delta_syncs: int = 0
+    n_full_clones: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -110,12 +116,21 @@ class FailoverReport:
 class ShardReplica:
     """One warm standby: a shadow Farmer at the last sync barrier."""
 
-    __slots__ = ("farmer", "synced_at", "n_syncs", "_synced_ticks")
+    __slots__ = (
+        "farmer",
+        "synced_at",
+        "n_syncs",
+        "n_delta_syncs",
+        "n_full_clones",
+        "_synced_ticks",
+    )
 
     def __init__(self, farmer: Farmer) -> None:
         self.farmer = farmer
         self.synced_at = 0  # service n_observed at the last sync
         self.n_syncs = 0
+        self.n_delta_syncs = 0  # nodes refreshed by array-slice copy
+        self.n_full_clones = 0  # nodes shipped as whole clones
         self._synced_ticks: dict[int, int] = {}
 
     def sync(self, primary: Farmer, at_observed: int) -> int:
@@ -123,10 +138,14 @@ class ShardReplica:
 
         Ranks every changed list at the source first (through the same
         ``flush_nodes_report`` seam a rebalance migration uses), then
-        ships a clone of each changed node and its list; the sliding
-        window and accepted-request count are carried so a promotion
-        resumes mining with the primary's exact context. Returns the
-        number of nodes shipped.
+        ships each changed node as either an **array delta** — when the
+        standby's copy still has the same successor membership (equal
+        ``succ_version`` and fid array), the per-edge stat arrays and
+        counters are overwritten in place, three slice-assign memcpys —
+        or a whole-node clone (membership changed, or no copy yet). The
+        sliding window and accepted-request count are carried so a
+        promotion resumes mining with the primary's exact context.
+        Returns the number of nodes shipped.
         """
         graph = primary.constructor.graph
         node_map = graph.node_map()
@@ -143,11 +162,25 @@ class ShardReplica:
             # tick has not moved since their last rank)
             primary.miner.flush_nodes_report(changed)
             standby_graph = self.farmer.constructor.graph
+            standby_nodes = standby_graph.node_map()
             standby_miner = self.farmer.miner
             list_of = primary.miner.list_of
             for fid in changed:
                 node = node_map[fid]
-                standby_graph.adopt_node(fid, node.clone())
+                mine = standby_nodes.get(fid)
+                if (
+                    mine is not None
+                    and mine.succ_version == node.succ_version
+                    and mine.succ_fids == node.succ_fids
+                ):
+                    # the standby's copy (written only by this sync
+                    # path) still holds the same successors in the same
+                    # order — refresh stats in place, no allocation
+                    mine.copy_stats_from(node)
+                    self.n_delta_syncs += 1
+                else:
+                    standby_graph.adopt_node(fid, node.clone())
+                    self.n_full_clones += 1
                 lst = list_of(fid)
                 if lst is not None:
                     standby_miner.adopt_migrated(
@@ -210,6 +243,8 @@ class ShardReplicator:
         at = service.n_observed
         shipped = 0
         n_synced = 0
+        deltas0 = sum(r.n_delta_syncs for r in self.replicas)
+        clones0 = sum(r.n_full_clones for r in self.replicas)
         for index, replica in enumerate(self.replicas):
             if index in service._failed:
                 continue  # no primary to copy; promote first
@@ -222,6 +257,10 @@ class ShardReplicator:
             n_shards_synced=n_synced,
             n_nodes_shipped=shipped,
             elapsed_s=time.perf_counter() - start,
+            n_delta_syncs=sum(r.n_delta_syncs for r in self.replicas)
+            - deltas0,
+            n_full_clones=sum(r.n_full_clones for r in self.replicas)
+            - clones0,
         )
 
     def take(self, index: int) -> ShardReplica:

@@ -45,17 +45,27 @@ Backends
   vocabulary/vector store; shipping those writes back across process
   boundaries would cost more than the ingest itself), then the flush —
   the Function-1-heavy phase — fans out on a ``ProcessPoolExecutor``.
-  Each worker receives a pickled snapshot of its shard (locks are
-  recreated on unpickle) and ships back exactly the lists it re-ranked;
-  the parent installs them via
-  :meth:`~repro.core.cominer.CoMiner.adopt_ranked`. Worker-side stamp
-  and cache side-state stays behind — losing it costs recomputation on
-  a later flush, never correctness.
+  The shared read-state a flush needs (config + end-of-batch vector
+  store) is snapshotted to a temp file **once per batch**; each
+  dispatch then ships only a token for that snapshot, the shard's
+  touched graph nodes and the fid list — instead of pickling the whole
+  shard Farmer per dispatch. A worker loads the snapshot on first
+  sight of the token (cached in the worker process), builds a scratch
+  Farmer around it, adopts the shipped nodes and ranks the fids; it
+  ships back exactly the lists it ranked and the parent installs them
+  via :meth:`~repro.core.cominer.CoMiner.adopt_ranked`. A scratch
+  Farmer ranks every dispatched fid from just nodes + vectors — a
+  Correlator List is a pure function of those — so the result is
+  bit-identical to an in-parent flush. The per-dispatch payload and
+  per-batch snapshot sizes are reported (``dispatch_bytes`` /
+  ``shared_bytes``), which is what BENCH_service.json tracks.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
+import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -71,6 +81,11 @@ __all__ = ["ParallelShardRunner", "ParallelMineReport", "BACKENDS"]
 
 BACKENDS = ("thread", "process")
 
+# Worker-process cache of the current batch's shared snapshot: the
+# (config, vector store) pair every shard dispatch of one batch reads.
+# Keyed by the parent-chosen token so a stale snapshot is never reused.
+_WORKER_SHARED: tuple[str, object, object] | None = None
+
 
 def _flush_shard_worker(
     shard: Farmer, fids: list[int]
@@ -78,6 +93,31 @@ def _flush_shard_worker(
     """Process-backend worker: flush a pickled shard snapshot and return
     the lists it re-ranked (module-level so it pickles under spawn)."""
     return shard.miner.flush_nodes_report(fids)
+
+
+def _flush_payload_worker(payload: bytes) -> dict[int, CorrelatorList]:
+    """Process-backend worker, shared-snapshot protocol: the payload
+    carries ``(token, snapshot_path, nodes, fids)``. The (config,
+    vector store) snapshot at ``snapshot_path`` is loaded once per
+    worker process per token; each dispatch wraps it in a *fresh*
+    scratch Farmer (a shell around the shared store — no data of its
+    own, so construction is cheap), adopts its shard's touched nodes
+    and ranks its fids. The Farmer must not be shared across dispatches:
+    two shards' graphs can both hold a node for the same fid (an owner
+    node and a boundary halo) whose per-node change ticks coincide,
+    which would make the second dispatch's rank of that fid look
+    already-done."""
+    global _WORKER_SHARED
+    token, path, nodes, fids = pickle.loads(payload)
+    if _WORKER_SHARED is None or _WORKER_SHARED[0] != token:
+        with open(path, "rb") as fh:
+            config, store = pickle.load(fh)
+        _WORKER_SHARED = (token, config, store)
+    scratch = Farmer(_WORKER_SHARED[1], vector_store=_WORKER_SHARED[2])
+    graph = scratch.constructor.graph
+    for fid, node in nodes.items():
+        graph.adopt_node(fid, node)
+    return scratch.miner.flush_nodes_report(fids)
 
 
 @dataclass(frozen=True, slots=True)
@@ -91,6 +131,11 @@ class ParallelMineReport:
     partition_s: float
     ingest_s: float
     flush_s: float
+    # process backend only: bytes pickled per dispatch (token + touched
+    # nodes + fids, summed over shards) and the once-per-batch shared
+    # (config, vector store) snapshot size. Zero on the thread backend.
+    dispatch_bytes: int = 0
+    shared_bytes: int = 0
 
     @property
     def elapsed_s(self) -> float:
@@ -140,6 +185,7 @@ class ParallelShardRunner:
         # the executor is created lazily and reused across batches, so a
         # chunked stream pays worker spin-up once, not per mine() call
         self._pool: ThreadPoolExecutor | ProcessPoolExecutor | None = None
+        self._shared_token = 0  # per-batch snapshot-identity counter
 
     def _executor(self):
         if self._pool is None:
@@ -182,6 +228,7 @@ class ParallelShardRunner:
             (shard, sub) for shard, sub in zip(service.shards, subs) if sub
         ]
         pool = self._executor()
+        dispatch_bytes = shared_bytes = 0
         if self.backend == "thread":
             touched = list(
                 pool.map(lambda item: item[0].ingest_mixed(item[1]), work)
@@ -202,13 +249,9 @@ class ParallelShardRunner:
             touched = [shard.ingest_mixed(sub) for shard, sub in work]
             t2 = time.perf_counter()
             fid_lists = [sorted(t) for t in touched]
-            futures = [
-                pool.submit(_flush_shard_worker, shard, fids)
-                for (shard, _), fids in zip(work, fid_lists)
-            ]
-            for (shard, _), fids, future in zip(work, fid_lists, futures):
-                shard.miner.adopt_ranked(future.result(), fids)
-            t3 = time.perf_counter()
+            dispatch_bytes, shared_bytes, t3 = self._flush_processes(
+                work, fid_lists
+            )
         n_placed = sum(len(s) for s in subs)
         echoes = n_placed - accepted
         service._absorb_stream_state(accepted, n_placed, prev, last_fid)
@@ -220,4 +263,43 @@ class ParallelShardRunner:
             partition_s=t1 - t0,
             ingest_s=t2 - t1,
             flush_s=t3 - t2,
+            dispatch_bytes=dispatch_bytes,
+            shared_bytes=shared_bytes,
         )
+
+    def _flush_processes(self, work, fid_lists):
+        """Fan the flush phase out over the process pool with the
+        shared-snapshot protocol: one (config, vector store) temp-file
+        snapshot per batch, one slim pickled payload per shard dispatch.
+        Returns (dispatch bytes, snapshot bytes, end timestamp)."""
+        service = self.service
+        self._shared_token += 1
+        token = f"{os.getpid()}-{id(self)}-{self._shared_token}"
+        fd, path = tempfile.mkstemp(prefix="repro-shared-", suffix=".pkl")
+        dispatch_bytes = 0
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(
+                    (service.config, service.vector_store),
+                    fh,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            shared_bytes = os.path.getsize(path)
+            pool = self._executor()
+            futures = []
+            for (shard, _), fids in zip(work, fid_lists):
+                node_map = shard.constructor.graph.node_map()
+                nodes = {
+                    fid: node_map[fid] for fid in fids if fid in node_map
+                }
+                payload = pickle.dumps(
+                    (token, path, nodes, fids),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                dispatch_bytes += len(payload)
+                futures.append(pool.submit(_flush_payload_worker, payload))
+            for (shard, _), fids, future in zip(work, fid_lists, futures):
+                shard.miner.adopt_ranked(future.result(), fids)
+        finally:
+            os.unlink(path)
+        return dispatch_bytes, shared_bytes, time.perf_counter()

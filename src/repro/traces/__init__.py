@@ -22,7 +22,20 @@ from repro.traces.stats import (
     successor_predictability,
     summarize_trace,
 )
-from repro.traces.synthetic import TRACE_NAMES, Workload, generate_trace, make_workload
+# The synthetic workload generators are numpy-backed; they are
+# re-exported lazily (PEP 562) so the mining core — which only consumes
+# TraceRecord streams — stays importable on a numpy-free interpreter
+# (the no-numpy CI leg pins this).
+_SYNTHETIC_NAMES = ("TRACE_NAMES", "Workload", "generate_trace", "make_workload")
+
+
+def __getattr__(name: str):
+    if name in _SYNTHETIC_NAMES:
+        from repro.traces import synthetic
+
+        return getattr(synthetic, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "TraceRecord",

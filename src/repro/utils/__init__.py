@@ -8,14 +8,28 @@ primitives.
 
 from repro.utils.intern import Interner
 from repro.utils.memory import MemoryMeter, approx_sizeof
-from repro.utils.rng import derive_rng, spawn_rngs
-from repro.utils.stats import (
-    OnlineMean,
-    OnlineStats,
-    ReservoirSample,
-    percentile,
-)
 from repro.utils.tables import format_table, format_percent
+
+# rng and stats are numpy-backed (seeded Generators, percentile math);
+# re-exported lazily (PEP 562) so the mining core's import chain stays
+# numpy-free (the no-numpy CI leg pins this)
+_LAZY = {
+    "derive_rng": "repro.utils.rng",
+    "spawn_rngs": "repro.utils.rng",
+    "OnlineMean": "repro.utils.stats",
+    "OnlineStats": "repro.utils.stats",
+    "ReservoirSample": "repro.utils.stats",
+    "percentile": "repro.utils.stats",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is not None:
+        import importlib
+
+        return getattr(importlib.import_module(module), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Interner",

@@ -5,7 +5,17 @@ from __future__ import annotations
 import pytest
 
 from repro.traces.record import TraceRecord
-from repro.traces.synthetic import generate_trace
+
+# The synthetic generators (and the experiments' trace cache) are
+# numpy-backed. Import them lazily so the numpy-free test subset (see
+# the no-numpy CI leg) can collect and run this conftest on a bare
+# interpreter; fixtures that need a generated trace import on first use.
+
+
+def generate_trace(*args, **kwargs):
+    from repro.traces.synthetic import generate_trace as gen
+
+    return gen(*args, **kwargs)
 
 
 def make_record(
@@ -37,7 +47,10 @@ def sequence_records(fids, **kwargs) -> list[TraceRecord]:
 # modules (~0.2s a generation); use this (or the ``synthetic_trace``
 # fixture) instead of calling ``generate_trace`` directly for any trace
 # of more than a few thousand records.
-from repro.experiments.common import cached_trace  # noqa: E402
+def cached_trace(*args, **kwargs):
+    from repro.experiments.common import cached_trace as cached
+
+    return cached(*args, **kwargs)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,240 @@
+"""Array-kernel specifics beyond the shared equivalence matrix.
+
+``tests/core/test_rerank_kernel.py`` already runs the array kernel
+through every cross-kernel equivalence property. This module pins the
+machinery that is *unique* to the flat/vectorized path:
+
+* the rank-record full skip (and its bulk-kernel sibling, the
+  whole-list epoch skip) — the satellite regression for
+  ``RerankStats.entries_skipped_unchanged``;
+* rank-record reuse under vector churn (per-entry version validation);
+* the partial-select top-k cut (``rebuild_arrays`` vs ``rebuild``),
+  including exact boundary-tie handling;
+* ``VectorStore.update_batch`` ≡ the per-record update loop (vectors
+  *and* version trajectories), across policies and the path-probe edge
+  case;
+* config variants that leave the inlined Function-1 fast path
+  (dpa / prefix mode / degenerate weights).
+"""
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.config import FarmerConfig
+from repro.core.farmer import Farmer
+from repro.graph.correlator_list import CorrelatorList
+from repro.traces.synthetic import generate_trace
+from tests.conftest import make_record
+
+
+def _assert_second_rank_skips_whole_list(config: FarmerConfig) -> None:
+    """mine → dirty+query (primes the skip state) → dirty+query again:
+    the second rank must skip the full candidate scan, advancing
+    ``entries_skipped_unchanged`` by exactly the successor count while
+    serving the identical list."""
+    trace = generate_trace("hp", 2_000, seed=17)
+    farmer = Farmer(config)
+    farmer.mine(trace)
+    node_map = farmer.constructor.graph.node_map()
+    fid = max(node_map, key=lambda g: len(node_map[g].succ_fids))
+    d = len(node_map[fid].succ_fids)
+    assert d > 0
+    farmer.miner.mark_dirty(fid)
+    first = farmer.correlators(fid)
+    farmer.miner.mark_dirty(fid)
+    before = farmer.rerank_stats()
+    again = farmer.correlators(fid)
+    after = farmer.rerank_stats()
+    assert again == first
+    assert after.n_reevaluations - before.n_reevaluations == 1
+    assert after.entries_scanned - before.entries_scanned == d
+    assert after.entries_skipped_unchanged - before.entries_skipped_unchanged == d
+
+
+class TestFullSkip:
+    def test_array_rank_record_full_skip(self):
+        """The array kernel's rank record proves the whole list
+        unchanged (node tick + vector epoch) and skips the scan."""
+        _assert_second_rank_skips_whole_list(
+            FarmerConfig(rerank_kernel="array")
+        )
+
+    def test_bulk_whole_list_epoch_skip(self):
+        """The bulk kernel's epoch stamp does the same without numpy."""
+        _assert_second_rank_skips_whole_list(
+            FarmerConfig(rerank_kernel="bulk", incremental_rerank=True)
+        )
+
+    def test_skip_invalidated_by_vector_churn(self):
+        """A vector-store epoch move disarms the full skip: the next
+        rank rescans instead of serving the stale record."""
+        farmer = Farmer(
+            FarmerConfig(
+                rerank_kernel="array", sv_policy="latest", max_strength=0.0
+            )
+        )
+        for i in range(6):
+            farmer.observe(make_record(1, uid=1, pid=1, host=1, ts=2 * i))
+            farmer.observe(make_record(2, uid=1, pid=1, host=1, ts=2 * i + 1))
+        farmer.miner.mark_dirty(1)
+        farmer.correlators(1)  # record now primed
+        # churn fid 2's vector (new uid/pid/host => new scalar ids)
+        farmer.observe(make_record(2, uid=9, pid=9, host=9, ts=100))
+        farmer.miner.mark_dirty(1)
+        before = farmer.rerank_stats()
+        after_list = {e.fid: e.degree for e in farmer.correlators(1)}
+        stats = farmer.rerank_stats()
+        assert stats.entries_skipped_unchanged == before.entries_skipped_unchanged
+        assert after_list[2] == pytest.approx(farmer.correlation_degree(1, 2))
+
+
+class TestRecordReuseEquivalence:
+    def test_vector_churn_interleaved_queries(self):
+        """Per-entry record reuse under the churny "latest" policy stays
+        bit-identical to the plain bulk oracle at every query point."""
+        trace = generate_trace("hp", 6_000, seed=29)
+        common = dict(max_strength=0.0, sv_policy="latest", weight_p=0.9)
+        fa = Farmer(FarmerConfig(rerank_kernel="array", **common))
+        fb = Farmer(
+            FarmerConfig(
+                rerank_kernel="bulk", incremental_rerank=False, **common
+            )
+        )
+        for i, record in enumerate(trace):
+            fa.observe(record)
+            fb.observe(record)
+            assert fa.correlators(record.fid) == fb.correlators(record.fid), i
+        assert fa.snapshot() == fb.snapshot()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(path_method="dpa"),
+            dict(path_mode="prefix"),
+            dict(weight_p=1.0),
+            dict(weight_p=0.0),
+            dict(vector_freeze_threshold=4),
+        ],
+        ids=["dpa", "prefix", "p=1", "p=0", "freeze"],
+    )
+    def test_off_fast_path_configs(self, overrides):
+        """Configs that bypass the inlined IPA-bag fast path (dpa,
+        prefix mode) or degenerate the Function-2 blend still agree
+        with the oracle."""
+        trace = generate_trace("hp", 3_000, seed=31)
+        common = dict(max_strength=0.0)
+        common.update(overrides)
+        fa = Farmer(FarmerConfig(rerank_kernel="array", **common))
+        fb = Farmer(
+            FarmerConfig(
+                rerank_kernel="bulk", incremental_rerank=False, **common
+            )
+        )
+        for i, record in enumerate(trace):
+            fa.observe(record)
+            fb.observe(record)
+            assert fa.predict(record.fid) == fb.predict(record.fid), i
+        fids = set(fb.constructor.graph.nodes())
+        assert set(fa.constructor.graph.nodes()) == fids
+        for fid in fids:
+            assert fa.correlators(fid) == fb.correlators(fid)
+
+
+class TestPartialSelect:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_rebuild_arrays_matches_rebuild(self, seed):
+        """Direct unit equivalence, with a tiny degree pool so the
+        capacity boundary almost always lands on an exact-tie plateau
+        (the fid-ordered tie fill is the delicate part)."""
+        rng = random.Random(seed)
+        n = rng.choice([3, 63, 64, 65, 200, 500])
+        fids = rng.sample(range(100_000), n)
+        pool = [round(rng.random(), 2) for _ in range(5)]
+        degrees = [rng.choice(pool) for _ in fids]
+        np_fids = np.array(fids, dtype=np.int64)
+        np_degrees = np.array(degrees, dtype=np.float64)
+        for capacity in (1, 4, 16, 64, 600):
+            for threshold in (0.0, 0.5):
+                a = CorrelatorList(threshold=threshold, capacity=capacity)
+                a.rebuild(zip(fids, degrees))
+                b = CorrelatorList(threshold=threshold, capacity=capacity)
+                b.rebuild_arrays(np_fids, np_degrees)
+                assert a.entries() == b.entries(), (capacity, threshold)
+                assert a._degrees == b._degrees
+
+    def test_rebuild_arrays_all_below_threshold(self):
+        lst = CorrelatorList(threshold=0.9, capacity=4)
+        lst.rebuild_arrays(
+            np.arange(100, dtype=np.int64), np.full(100, 0.5)
+        )
+        assert lst.entries() == []
+        assert len(lst) == 0
+
+    def test_wide_nodes_end_to_end(self):
+        """High successor capacity with a tight list capacity drives
+        the d >= cutoff rebuild_arrays path inside the array kernel;
+        output must still match the bulk oracle."""
+        trace = generate_trace("hp", 12_000, seed=37)
+        common = dict(
+            max_strength=0.0, successor_capacity=256, correlator_capacity=8
+        )
+        fa = Farmer(FarmerConfig(rerank_kernel="array", **common))
+        fb = Farmer(
+            FarmerConfig(
+                rerank_kernel="bulk", incremental_rerank=False, **common
+            )
+        )
+        fa.mine(trace)
+        fb.mine(trace)
+        node_map = fa.constructor.graph.node_map()
+        widest = max(len(n.succ_fids) for n in node_map.values())
+        assert widest >= 64  # the numpy partial-select path engaged
+        for fid in fb.constructor.graph.nodes():
+            assert fa.correlators(fid) == fb.correlators(fid)
+
+
+class TestUpdateBatch:
+    @pytest.mark.parametrize("policy", ["merge", "latest", "first"])
+    @pytest.mark.parametrize("freeze", [0, 4], ids=["nofreeze", "freeze4"])
+    def test_matches_update_loop(self, policy, freeze):
+        """Batch folding is observably identical to the per-record
+        loop: same vectors *and* the same per-file version trajectory
+        (the freeze threshold and sim memos key on versions)."""
+        trace = generate_trace("hp", 3_000, seed=11)
+        cfg = FarmerConfig(sv_policy=policy, vector_freeze_threshold=freeze)
+        batched = Farmer(cfg).constructor.vectors
+        looped = Farmer(cfg).constructor.vectors
+        batched.update_batch(trace)
+        for record in trace:
+            looped.update(record)
+        va, ra = batched.maps()
+        vb, rb = looped.maps()
+        assert ra == rb
+        assert va.keys() == vb.keys()
+        for fid in va:
+            assert va[fid].scalar_ids == vb[fid].scalar_ids, fid
+            assert va[fid].path_ids == vb[fid].path_ids, fid
+
+    def test_alternating_paths_probe_case(self):
+        """A path *string* change with already-merged ids is the one
+        case the deferred build must materialise mid-batch (the
+        equality probe); alternate two paths to force it repeatedly."""
+        records = [
+            make_record(1, ts=i, path=("/a/x", "/b/x")[i % 2])
+            for i in range(12)
+        ] + [make_record(2, ts=100 + i, path="/c/y") for i in range(3)]
+        cfg = FarmerConfig(sv_policy="merge", merge_cap=6)
+        batched = Farmer(cfg).constructor.vectors
+        looped = Farmer(cfg).constructor.vectors
+        batched.update_batch(records)
+        for record in records:
+            looped.update(record)
+        va, ra = batched.maps()
+        vb, rb = looped.maps()
+        assert ra == rb
+        for fid in va:
+            assert va[fid].scalar_ids == vb[fid].scalar_ids
+            assert va[fid].path_ids == vb[fid].path_ids

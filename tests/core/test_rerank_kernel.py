@@ -1,12 +1,15 @@
-"""The one-pass re-rank kernel: bulk vs entrywise, stamps on vs off.
+"""The one-pass re-rank kernel: bulk vs entrywise vs array.
 
-The acceptance property for the bulk rebuild kernel: over a randomized
+The acceptance property for the re-rank kernels: over a randomized
 20k-record synthetic trace, a Farmer on the bulk kernel (incremental
-stamps on *and* off) returns bit-identical query results to the
+stamps on *and* off) — and, when numpy is available, on the vectorized
+array kernel — returns bit-identical query results to the
 entry-by-entry reference path, under both the lazy and the eager
 schedule — while doing measurably less work (no insorts during
 re-ranks, fewer Function-1 evaluation requests).
 """
+
+import importlib.util
 
 import pytest
 
@@ -19,6 +22,11 @@ KERNELS = {
     "bulk": dict(rerank_kernel="bulk", incremental_rerank=False),
     "entrywise": dict(rerank_kernel="entrywise"),
 }
+if importlib.util.find_spec("numpy") is not None:
+    # the vectorized kernel rides every equivalence property below; on
+    # a no-numpy interpreter the matrix simply shrinks to the pure
+    # kernels (the array kernel refuses to construct, by contract)
+    KERNELS["array"] = dict(rerank_kernel="array")
 
 
 def farmers_for(**common):

@@ -155,3 +155,71 @@ class TestChangeTicks:
         for fid in range(10):
             g.observe(fid)
         assert g.window_contents() == (8, 9)
+
+
+class TestMigrationSeam:
+    """pop_node / adopt_node / clone on the flat array representation:
+    the shard-rebalance and standby-sync seams move whole nodes (or
+    refresh them in place), so the arrays and their slot index must
+    survive the trip exactly."""
+
+    @staticmethod
+    def _arrays_of(node):
+        return (
+            node.access_count,
+            node.change_tick,
+            node.succ_version,
+            node.succ_fids[:],
+            node.succ_weights[:],
+            node.succ_raw[:],
+            node.succ_last[:],
+        )
+
+    def test_pop_adopt_round_trip(self):
+        src = CorrelationGraph(window=3)
+        for fid in (0, 1, 2, 3, 1, 2, 0, 4, 2, 1):
+            src.observe(fid)
+        node = src.node_map()[0]
+        before = self._arrays_of(node)
+        popped = src.pop_node(0)
+        assert popped is node
+        assert 0 not in src.node_map()
+        dst = CorrelationGraph(window=3)
+        dst.adopt_node(0, popped)
+        adopted = dst.node_map()[0]
+        assert self._arrays_of(adopted) == before
+        # the slot index still answers lookups after the move, and the
+        # dict view rebuilds from the arrays in insertion order
+        for i, fid in enumerate(adopted.succ_fids):
+            assert adopted.slot_of(fid) == i
+        assert list(adopted.successors) == list(adopted.succ_fids)
+
+    def test_pop_missing_returns_none(self):
+        assert CorrelationGraph().pop_node(99) is None
+
+    def test_clone_is_deep_on_arrays(self):
+        g = CorrelationGraph(window=2)
+        for fid in (0, 1, 2, 0, 1):
+            g.observe(fid)
+        node = g.node_map()[0]
+        copy = node.clone()
+        frozen = self._arrays_of(copy)
+        g.observe(0)
+        g.observe(1)  # reinforces 0 -> 1 in the original only
+        assert self._arrays_of(copy) == frozen
+        assert node.succ_weights != copy.succ_weights
+
+    def test_copy_stats_from_refreshes_in_place(self):
+        """The standby-sync delta path: same membership, stats moved by
+        slice assignment — the refreshed copy matches a fresh clone."""
+        g = CorrelationGraph(window=2)
+        for fid in (0, 1, 2, 0, 1):
+            g.observe(fid)
+        node = g.node_map()[0]
+        stale = node.clone()
+        g.observe(0)
+        g.observe(1)  # weight churn, no membership change
+        assert stale.succ_version == node.succ_version
+        assert stale.succ_weights != node.succ_weights
+        stale.copy_stats_from(node)
+        assert self._arrays_of(stale) == self._arrays_of(node.clone())

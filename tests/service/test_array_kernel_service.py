@@ -1,0 +1,146 @@
+"""The array kernel under the full service stack, and the delta
+standby-sync path it shares its flat layout with.
+
+Three properties ride here:
+
+* **service-level kernel equivalence** — a sharded service on the
+  array kernel, driven through rebalance *and* failover, serves exactly
+  what the bulk-kernel service serves (the kernel seam is below every
+  migration/replication seam, so the whole schedule must agree);
+* **delta sync engages** — steady-state standby barriers ship
+  stats-only nodes as in-place array deltas (``n_delta_syncs``), and a
+  standby built that way still promotes to a bit-identical shard;
+* **slim process dispatch** — the process-backend runner ships the
+  shared (config, vector store) snapshot once per batch, so per-dispatch
+  payload bytes stay far below whole-shard pickling.
+"""
+
+import pickle
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.config import FarmerConfig
+from repro.service.runner import ParallelShardRunner
+from repro.service.sharded import ShardedFarmer
+from repro.traces.synthetic import generate_trace
+
+
+def owned_fids(service: ShardedFarmer) -> set[int]:
+    out: set[int] = set()
+    for shard in service.shards:
+        out.update(shard.constructor.graph.nodes())
+    return out
+
+
+def query_map(service: ShardedFarmer, fids) -> dict:
+    return {
+        fid: (service.correlators(fid), service.predict(fid))
+        for fid in sorted(fids)
+    }
+
+
+class TestServiceEquivalence:
+    def test_rebalance_and_failover_schedule(self):
+        """Identical mine/rebalance/fail/promote schedule on both
+        kernels ends in identical query state everywhere."""
+        trace = generate_trace("hp", 12_000, seed=41)
+
+        def run(kernel: str) -> ShardedFarmer:
+            service = ShardedFarmer(
+                FarmerConfig(
+                    max_strength=0.3,
+                    n_shards=4,
+                    rerank_kernel=kernel,
+                    replication=True,
+                    standby_sync_interval=2_000,
+                )
+            )
+            service.mine(trace[:6_000])
+            service.rebalance(n_shards=6)
+            service.mine(trace[6_000:10_000])
+            service.sync_standbys()  # zero-lag barrier: lossless failover
+            service.fail_shard(2)
+            service.promote_standby(2)
+            service.mine(trace[10_000:])
+            return service
+
+        array_svc = run("array")
+        bulk_svc = run("bulk")
+        fids = owned_fids(bulk_svc)
+        assert owned_fids(array_svc) == fids
+        assert query_map(array_svc, fids) == query_map(bulk_svc, fids)
+
+
+class TestDeltaSync:
+    def test_delta_path_engages_and_promotes_identically(self):
+        trace = generate_trace("hp", 8_000, seed=43)
+        cfg = FarmerConfig(
+            max_strength=0.3,
+            n_shards=2,
+            rerank_kernel="array",
+            replication=True,
+            standby_sync_interval=100_000,  # explicit barriers only
+        )
+
+        def run(fail: bool) -> ShardedFarmer:
+            service = ShardedFarmer(cfg)
+            service.mine(trace[:6_000])
+            service.sync_standbys()
+            # steady state: mostly re-touches of known files, so most
+            # changed nodes keep their successor membership
+            service.mine(trace[6_000:6_600])
+            report = service.sync_standbys()
+            assert report.n_delta_syncs > 0
+            assert (
+                report.n_delta_syncs + report.n_full_clones
+                == report.n_nodes_shipped
+            )
+            if fail:
+                service.fail_shard(0)
+                service.promote_standby(0)
+            return service
+
+        promoted = run(fail=True)
+        reference = run(fail=False)
+        fids = owned_fids(reference)
+        assert owned_fids(promoted) == fids
+        # the promoted shard 0 was rebuilt from clones *and* in-place
+        # array deltas at a zero-lag barrier: every query must match the
+        # never-failed service bit for bit
+        assert query_map(promoted, fids) == query_map(reference, fids)
+
+
+class TestProcessDispatch:
+    def test_payloads_slim_vs_whole_shard_pickles(self):
+        trace = generate_trace("hp", 4_000, seed=47)
+        service = ShardedFarmer(FarmerConfig(max_strength=0.3, n_shards=4))
+        with ParallelShardRunner(
+            service, backend="process", n_workers=2
+        ) as runner:
+            report = runner.mine(trace)
+        assert report.dispatch_bytes > 0
+        assert report.shared_bytes > 0
+        # the old protocol pickled each whole shard Farmer per dispatch
+        # (graph + vector store + vocabulary); the slim payloads must
+        # undercut that by a wide margin
+        whole = sum(len(pickle.dumps(shard)) for shard in service.shards)
+        assert report.dispatch_bytes < whole / 2
+
+    def test_array_kernel_process_backend_equivalence(self):
+        """Workers rank with the array kernel too (the scratch Farmer
+        inherits the config); results must match sequential mining."""
+        trace = generate_trace("hp", 4_000, seed=53)
+        cfg = FarmerConfig(
+            max_strength=0.3, n_shards=4, rerank_kernel="array"
+        )
+        sequential = ShardedFarmer(cfg).mine(trace)
+        parallel = ShardedFarmer(cfg)
+        with ParallelShardRunner(
+            parallel, backend="process", n_workers=2
+        ) as runner:
+            runner.mine(trace)
+        fids = owned_fids(sequential)
+        assert owned_fids(parallel) == fids
+        assert query_map(parallel, fids) == query_map(sequential, fids)
