@@ -9,13 +9,18 @@ Usage::
     farmer-repro service --events 20000 --shards 1,2,4,8
     farmer-repro service --shards 4 --router consistent_hash --rebalance 6
     farmer-repro service --shards 4 --mds 4 --routed-prefetch
+    farmer-repro serve --shards 4 --replicate --tail /var/log/trace.jsonl
 
 or equivalently ``python -m repro ...``. The ``service`` subcommand
 measures the sharded mining service against the single-miner baseline
 (aggregate throughput modeled as records over the slowest shard's
 replay — see :mod:`repro.service.harness`), and can additionally
 demonstrate shard rebalancing (``--rebalance``) and the cluster-routed
-prefetch path (``--mds`` / ``--routed-prefetch``).
+prefetch path (``--mds`` / ``--routed-prefetch``). The ``serve``
+subcommand runs the *online* ingestion service instead: trace-tailing
+or replay agents in front of a bounded admission queue, a consumer
+draining into the shards, and an HTTP query/admin API with live
+telemetry (:mod:`repro.online`).
 """
 
 from __future__ import annotations
@@ -214,6 +219,129 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker count for --parallel (default: min(shards, cores))",
+    )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help=(
+            "run the online ingestion service: bounded-queue admission in "
+            "front of the sharded miner, HTTP query/admin API, live "
+            "telemetry"
+        ),
+    )
+    serve_p.add_argument("--host", default="127.0.0.1", help="bind host")
+    serve_p.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="bind port (0 = ephemeral; the bound port is printed)",
+    )
+    serve_p.add_argument(
+        "--trace",
+        default="hp",
+        help="trace profile for the attribute set (default hp)",
+    )
+    serve_p.add_argument(
+        "--shards", type=int, default=4, help="miner shard count"
+    )
+    serve_p.add_argument(
+        "--router",
+        choices=("hash", "range", "consistent_hash"),
+        default="hash",
+        help="namespace partitioning policy",
+    )
+    serve_p.add_argument(
+        "--replicate",
+        action="store_true",
+        help="keep one warm standby per shard (enables failover over the API)",
+    )
+    serve_p.add_argument(
+        "--sync-interval",
+        type=int,
+        default=1024,
+        metavar="K",
+        help="standby sync cadence in accepted requests (with --replicate)",
+    )
+    serve_p.add_argument(
+        "--echo-interval",
+        type=int,
+        default=0,
+        metavar="K",
+        help="batch boundary echoes every K accepted requests (0 = JIT)",
+    )
+    serve_p.add_argument(
+        "--kernel",
+        choices=("bulk", "entrywise", "array"),
+        default="bulk",
+        help="re-rank kernel",
+    )
+    serve_p.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=4096,
+        help="hard bound of the ingest queue (offers at this depth shed)",
+    )
+    serve_p.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        help="records the consumer drains per batch",
+    )
+    serve_p.add_argument(
+        "--echo-watermark",
+        type=float,
+        default=0.5,
+        help=(
+            "queue fraction above which admitted records shed their "
+            "cross-shard echo (graceful degradation engages first)"
+        ),
+    )
+    serve_p.add_argument(
+        "--defer-watermark",
+        type=float,
+        default=0.9,
+        help="queue fraction above which offers defer (source backpressure)",
+    )
+    serve_p.add_argument(
+        "--tail",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help=(
+            "tail a JSONL trace file: records appended by another process "
+            "are mined live (the deployment seam)"
+        ),
+    )
+    serve_p.add_argument(
+        "--replay-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="replay an N-event synthetic trace through the pipeline",
+    )
+    serve_p.add_argument(
+        "--seed", type=int, default=1, help="synthetic trace seed"
+    )
+    serve_p.add_argument(
+        "--rate",
+        type=float,
+        default=5000.0,
+        help="replay arrival rate (records/s; see --pattern)",
+    )
+    serve_p.add_argument(
+        "--pattern",
+        choices=("constant", "bursty", "diurnal"),
+        default="constant",
+        help=(
+            "replay arrival pattern: constant --rate, bursty (5x --rate "
+            "bursts at 20%% duty), or diurnal (sinusoid between --rate/5 "
+            "and --rate)"
+        ),
+    )
+    serve_p.add_argument(
+        "--pace",
+        action="store_true",
+        help="really sleep the replay ticks (wall-clock arrival replay)",
     )
     return parser
 
@@ -467,6 +595,100 @@ def _run_service(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.experiments.common import farmer_config_for
+    from repro.online import (
+        AdminApiServer,
+        AdmissionPolicy,
+        BurstyRate,
+        ConstantRate,
+        DiurnalRate,
+        FileTailAgent,
+        OnlineService,
+        ReplayAgent,
+    )
+
+    config = farmer_config_for(
+        args.trace,
+        n_shards=args.shards,
+        shard_policy=args.router,
+        replication=args.replicate,
+        standby_sync_interval=args.sync_interval,
+        echo_flush_interval=args.echo_interval,
+        rerank_kernel=args.kernel,
+    )
+    policy = AdmissionPolicy(
+        capacity=args.queue_capacity,
+        echo_watermark=args.echo_watermark,
+        defer_watermark=args.defer_watermark,
+    )
+    online = OnlineService(config, policy=policy, batch_size=args.batch_size)
+    api = AdminApiServer(online, host=args.host, port=args.port)
+
+    agents = []
+    agent_threads = []
+    if args.tail is not None:
+        agents.append(FileTailAgent(args.tail))
+    if args.replay_events is not None:
+        from repro.traces.synthetic import generate_trace
+
+        records = generate_trace(
+            args.trace, args.replay_events, seed=args.seed
+        )
+        if args.pattern == "bursty":
+            pattern = BurstyRate(base=args.rate, burst=args.rate * 5.0)
+        elif args.pattern == "diurnal":
+            pattern = DiurnalRate(trough=args.rate / 5.0, peak=args.rate)
+        else:
+            pattern = ConstantRate(args.rate)
+        agents.append(ReplayAgent(records, pattern, pace=args.pace))
+
+    with online, api:
+        for agent in agents:
+            thread = threading.Thread(
+                target=agent.run, args=(online,), daemon=True
+            )
+            thread.start()
+            agent_threads.append(thread)
+        # the readiness line CI and scripts wait for — keep it stable
+        print(f"serving on {api.url}", flush=True)
+        print(
+            f"  shards={args.shards} router={args.router} "
+            f"replicate={args.replicate} queue={args.queue_capacity} "
+            f"batch={args.batch_size} "
+            f"sources={'tail,' if args.tail else ''}"
+            f"{'replay' if args.replay_events else ''}",
+            flush=True,
+        )
+        try:
+            api.shutdown_event.wait()
+        except KeyboardInterrupt:
+            print("interrupted — shutting down", flush=True)
+        for agent in agents:
+            stop = getattr(agent, "stop", None)
+            if stop is not None:
+                stop()
+        for thread in agent_threads:
+            thread.join(timeout=10.0)
+        drain = online.drain()
+        stats = online.stats()
+    counters = stats.pipeline
+    print(
+        f"drained {drain.n_consumed} queued records in "
+        f"{drain.elapsed_s:.2f}s; lifetime accepted="
+        f"{counters.n_accepted} echo_degraded={counters.n_echo_degraded} "
+        f"deferred={counters.n_deferred} shed={counters.n_shed}; "
+        f"mined {stats.service.n_observed} requests on "
+        f"{stats.service.n_shards} shards "
+        f"({stats.service.n_boundary_echoes} boundary echoes, "
+        f"{stats.service.n_echoes_shed} echoes shed)",
+        flush=True,
+    )
+    return 0
+
+
 def _add_scale_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--events", type=int, default=None, help="trace length (events)"
@@ -509,6 +731,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "service":
         return _run_service(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "all":
         for exp in EXPERIMENTS.values():
             t0 = time.perf_counter()

@@ -766,6 +766,23 @@ class CoMiner:
         re-rank is deferred to the first query of the list."""
         self._dirty.add(fid)
 
+    def demote_rank(self, fid: int) -> None:
+        """Forget that ``fid`` was ranked: mark it dirty and drop its
+        rank stamps, so the next flush or query re-ranks it even though
+        the graph tick has not moved.
+
+        The replication barrier uses this to stay invisible: it ranks
+        dirty lists mid-stream so the standby ships barrier-exact state,
+        but the primary's own schedule must still re-rank them at query
+        time — the tick-skip in :meth:`flush_nodes` would otherwise
+        serve the barrier-time degrees after later vector updates.
+        Per-edge stamps are kept (they validate against live versions,
+        so unchanged edges still skip Functions 1 and 2 on the re-rank).
+        """
+        self._dirty.add(fid)
+        self._ranked_tick.pop(fid, None)
+        self._ranked_epoch.pop(fid, None)
+
     def is_dirty(self, fid: int) -> bool:
         """Whether ``fid``'s list awaits its deferred re-rank."""
         return fid in self._dirty

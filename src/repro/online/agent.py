@@ -1,0 +1,368 @@
+"""Trace-tailing agents: arrival-rate-driven sources for the pipeline.
+
+The batch layer hands ``mine()`` a complete trace; an online service
+receives *arrivals*. An agent turns a record source into an arrival
+process: an :class:`ArrivalPattern` says how many records per second the
+workload offers at time *t*, and the agent integrates that rate over
+fixed ticks to decide how many records to offer the pipeline each tick
+(fractional arrivals carry over, so the long-run offered count is exact
+to the integral, not a per-tick rounding drift).
+
+Two agents:
+
+* :class:`ReplayAgent` — replays an in-memory record sequence at the
+  pattern's rate. ``pace=False`` keeps the tick *structure* (the same
+  per-tick batch sizes an actually-paced run would offer) but never
+  sleeps — that is what makes arrival-driven tests and benchmarks
+  deterministic and fast.
+* :class:`FileTailAgent` — follows a JSONL trace file like ``tail -f``:
+  records appended by another process are parsed and offered as they
+  appear. This is the deployment seam: a file system dumping its audit
+  stream to a log feeds the miner with no coupling beyond the file.
+
+Both speak the pipeline's admission protocol: an offer can be accepted,
+accepted-degraded (echo shed), deferred (back off and retry — the
+agent's sleep *is* the backpressure), or shed. The agent retries
+deferred records with a bounded backoff and reports everything in an
+:class:`AgentReport`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.online.pipeline import Admission, RecordSink
+from repro.traces.io import record_from_dict
+from repro.traces.record import TraceRecord
+
+__all__ = [
+    "AgentReport",
+    "ArrivalPattern",
+    "ConstantRate",
+    "BurstyRate",
+    "DiurnalRate",
+    "ReplayAgent",
+    "FileTailAgent",
+]
+
+
+class ArrivalPattern:
+    """A workload's offered arrival rate over time.
+
+    Subclasses implement :meth:`rate`; the default :meth:`arrivals`
+    integrates it over one tick with the midpoint rule (exact for the
+    piecewise-constant and linear patterns here, close enough for the
+    sinusoid — the point is a deterministic schedule, not a fluid
+    limit).
+    """
+
+    def rate(self, t: float) -> float:
+        """Offered records/second at time ``t`` (seconds from start)."""
+        raise NotImplementedError
+
+    def arrivals(self, t: float, dt: float) -> float:
+        """Expected arrivals in ``[t, t + dt)`` (may be fractional)."""
+        return self.rate(t + dt / 2.0) * dt
+
+
+@dataclass(frozen=True)
+class ConstantRate(ArrivalPattern):
+    """A steady ``rate`` records/second."""
+
+    per_second: float
+
+    def __post_init__(self) -> None:
+        if self.per_second <= 0:
+            raise ConfigError("ConstantRate needs a positive rate")
+
+    def rate(self, t: float) -> float:
+        """The constant ``per_second``, at any ``t``."""
+        return self.per_second
+
+
+@dataclass(frozen=True)
+class BurstyRate(ArrivalPattern):
+    """On/off bursts: ``burst`` records/s for the first ``duty``
+    fraction of every ``period`` seconds, ``base`` records/s otherwise
+    (the arrival shape that actually exercises admission control — the
+    queue must absorb the burst and drain it in the quiet phase)."""
+
+    base: float
+    burst: float
+    period: float = 10.0
+    duty: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.burst <= 0:
+            raise ConfigError("BurstyRate needs base >= 0 and burst > 0")
+        if self.period <= 0 or not 0.0 < self.duty < 1.0:
+            raise ConfigError("BurstyRate needs period > 0 and 0 < duty < 1")
+
+    def rate(self, t: float) -> float:
+        """``burst`` inside the duty window of each period, else ``base``."""
+        phase = math.fmod(t, self.period)
+        return self.burst if phase < self.period * self.duty else self.base
+
+
+@dataclass(frozen=True)
+class DiurnalRate(ArrivalPattern):
+    """A smooth day/night cycle: sinusoid between ``trough`` and
+    ``peak`` records/s with the given ``period`` (scaled down from 24h
+    to seconds in tests; the *shape* is what drives ``auto_rebalance``
+    under load shift, not the wall-clock span)."""
+
+    trough: float
+    peak: float
+    period: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.trough < 0 or self.peak < self.trough:
+            raise ConfigError("DiurnalRate needs 0 <= trough <= peak")
+        if self.period <= 0:
+            raise ConfigError("DiurnalRate needs period > 0")
+
+    def rate(self, t: float) -> float:
+        """The sinusoid's value at ``t`` (trough at 0, peak at period/2)."""
+        mid = (self.peak + self.trough) / 2.0
+        amplitude = (self.peak - self.trough) / 2.0
+        # trough at t=0, peak at period/2 — a service started at night
+        return mid - amplitude * math.cos(2.0 * math.pi * t / self.period)
+
+
+@dataclass(frozen=True, slots=True)
+class AgentReport:
+    """What one agent run offered and what the pipeline did with it.
+
+    ``n_deferred`` counts defer *responses* (one record can defer many
+    times before admission); ``n_abandoned`` counts records dropped by
+    the agent after exhausting its defer retries — with a live consumer
+    this stays zero, and the overload tests assert exactly where it
+    stops being zero.
+    """
+
+    n_offered: int
+    n_accepted: int
+    n_echo_degraded: int
+    n_deferred: int
+    n_shed: int
+    n_abandoned: int
+    elapsed_s: float
+
+
+class _OfferLoop:
+    """Shared offer-with-retry logic for both agents."""
+
+    def __init__(
+        self,
+        sink: RecordSink,
+        *,
+        defer_retries: int,
+        retry_delay_s: float,
+        sleep: Callable[[float], None],
+    ) -> None:
+        self.sink = sink
+        self.defer_retries = defer_retries
+        self.retry_delay_s = retry_delay_s
+        self.sleep = sleep
+        self.n_offered = 0
+        self.n_accepted = 0
+        self.n_echo_degraded = 0
+        self.n_deferred = 0
+        self.n_shed = 0
+        self.n_abandoned = 0
+
+    def offer(self, record: TraceRecord) -> None:
+        """Offer one record, honouring DEFER with bounded retries."""
+        self.n_offered += 1
+        for _ in range(self.defer_retries + 1):
+            result = self.sink.offer(record)
+            if result is Admission.ACCEPTED:
+                self.n_accepted += 1
+                return
+            if result is Admission.ACCEPTED_ECHO_SHED:
+                self.n_accepted += 1
+                self.n_echo_degraded += 1
+                return
+            if result is Admission.SHED:
+                self.n_shed += 1
+                return
+            # DEFERRED: the sleep is the backpressure taking effect
+            self.n_deferred += 1
+            self.sleep(self.retry_delay_s)
+        self.n_abandoned += 1
+
+    def report(self, elapsed_s: float) -> AgentReport:
+        """Snapshot the agent's offer accounting after a run."""
+        return AgentReport(
+            n_offered=self.n_offered,
+            n_accepted=self.n_accepted,
+            n_echo_degraded=self.n_echo_degraded,
+            n_deferred=self.n_deferred,
+            n_shed=self.n_shed,
+            n_abandoned=self.n_abandoned,
+            elapsed_s=elapsed_s,
+        )
+
+
+class ReplayAgent:
+    """Replay a record sequence into a sink at a pattern's arrival rate.
+
+    Args:
+        records: the trace to replay (offered in order; record
+            timestamps are ignored — the *pattern* is the clock).
+        pattern: offered-rate schedule (default: constant 10k/s).
+        tick_s: integration step; each tick offers
+            ``pattern.arrivals(t, tick_s)`` records (fractional
+            arrivals accumulate).
+        pace: if True, really sleep each tick (wall-clock replay). If
+            False (default), never sleep — identical per-tick batch
+            sizes, deterministic and as fast as the sink admits.
+        defer_retries: offers retried per record on DEFER before the
+            agent abandons it.
+        retry_delay_s: sleep between defer retries (also applied with
+            ``pace=False`` — backpressure must cost the agent something
+            or the retry loop would spin).
+    """
+
+    def __init__(
+        self,
+        records: Sequence[TraceRecord],
+        pattern: ArrivalPattern | None = None,
+        *,
+        tick_s: float = 0.01,
+        pace: bool = False,
+        defer_retries: int = 2000,
+        retry_delay_s: float = 0.001,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if tick_s <= 0:
+            raise ConfigError("ReplayAgent needs tick_s > 0")
+        self.records = records
+        self.pattern = pattern if pattern is not None else ConstantRate(10_000.0)
+        self.tick_s = tick_s
+        self.pace = pace
+        self.defer_retries = defer_retries
+        self.retry_delay_s = retry_delay_s
+        self._sleep = sleep
+
+    def batches(self) -> Iterable[list[TraceRecord]]:
+        """The per-tick record batches the pattern dictates (exposed for
+        tests: the deterministic arrival schedule, no sink needed)."""
+        backlog = 0.0
+        t = 0.0
+        cursor = 0
+        n = len(self.records)
+        while cursor < n:
+            backlog += self.pattern.arrivals(t, self.tick_s)
+            take = min(int(backlog), n - cursor)
+            backlog -= take
+            yield list(self.records[cursor : cursor + take])
+            cursor += take
+            t += self.tick_s
+
+    def run(self, sink: RecordSink) -> AgentReport:
+        """Offer the whole trace; returns the admission accounting."""
+        loop = _OfferLoop(
+            sink,
+            defer_retries=self.defer_retries,
+            retry_delay_s=self.retry_delay_s,
+            sleep=self._sleep,
+        )
+        start = time.perf_counter()
+        for batch in self.batches():
+            for record in batch:
+                loop.offer(record)
+            if self.pace:
+                self._sleep(self.tick_s)
+        return loop.report(time.perf_counter() - start)
+
+
+class FileTailAgent:
+    """Follow a JSONL trace file and offer appended records live.
+
+    The agent remembers its byte offset and re-polls: records written by
+    another process (the "file system" in a deployment, the test in CI)
+    are parsed with the standard trace reader and offered through the
+    same admission loop as :class:`ReplayAgent`. A partial trailing line
+    (a writer mid-append) is left in the file until a newline completes
+    it — records are only ever parsed whole.
+
+    The run ends when :meth:`stop` is called (drains what is already
+    readable first) or, if ``idle_timeout_s`` is set, after that long
+    with no new bytes.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        poll_interval_s: float = 0.05,
+        idle_timeout_s: float | None = None,
+        defer_retries: int = 2000,
+        retry_delay_s: float = 0.001,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if poll_interval_s <= 0:
+            raise ConfigError("FileTailAgent needs poll_interval_s > 0")
+        self.path = Path(path)
+        self.poll_interval_s = poll_interval_s
+        self.idle_timeout_s = idle_timeout_s
+        self.defer_retries = defer_retries
+        self.retry_delay_s = retry_delay_s
+        self._sleep = sleep
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        """Ask a running tail to finish (it drains readable lines first)."""
+        self._stop.set()
+
+    def run(self, sink: RecordSink) -> AgentReport:
+        """Tail the file until stopped or idle-timed-out."""
+        loop = _OfferLoop(
+            sink,
+            defer_retries=self.defer_retries,
+            retry_delay_s=self.retry_delay_s,
+            sleep=self._sleep,
+        )
+        start = time.perf_counter()
+        offset = 0
+        idle_s = 0.0
+        lineno = 0
+        while True:
+            got_data = False
+            if self.path.exists():
+                with open(self.path, "r", encoding="utf-8") as fh:
+                    fh.seek(offset)
+                    while True:
+                        line = fh.readline()
+                        if not line.endswith("\n"):
+                            break  # partial append: wait for the newline
+                        offset = fh.tell()
+                        lineno += 1
+                        stripped = line.strip()
+                        if not stripped:
+                            continue
+                        got_data = True
+                        loop.offer(
+                            record_from_dict(json.loads(stripped), lineno)
+                        )
+            if self._stop.is_set():
+                break
+            if got_data:
+                idle_s = 0.0
+            else:
+                idle_s += self.poll_interval_s
+                if (
+                    self.idle_timeout_s is not None
+                    and idle_s >= self.idle_timeout_s
+                ):
+                    break
+                self._sleep(self.poll_interval_s)
+        return loop.report(time.perf_counter() - start)

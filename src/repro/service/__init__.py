@@ -42,6 +42,7 @@ from repro.service.sharded import (
     AutoRebalanceReport,
     RebalanceReport,
     ShardedFarmer,
+    StreamIngestReport,
 )
 from repro.service.stats import (
     ServiceStats,
@@ -71,6 +72,7 @@ __all__ = [
     "AutoRebalanceReport",
     "RebalanceReport",
     "ShardedFarmer",
+    "StreamIngestReport",
     "ServiceStats",
     "combine_cache_stats",
     "combine_rerank_stats",

@@ -134,10 +134,15 @@ class ShardReplica:
         self._synced_ticks: dict[int, int] = {}
 
     def sync(self, primary: Farmer, at_observed: int) -> int:
-        """Copy the primary's tick-changed state into the standby.
+        """Copy the primary's changed state into the standby.
 
         Ranks every changed list at the source first (through the same
-        ``flush_nodes_report`` seam a rebalance migration uses), then
+        ``flush_nodes_report`` seam a rebalance migration uses) and then
+        *demotes* each freshly-ranked list back to dirty on the primary:
+        the barrier rank exists for the standby's benefit, and the
+        primary must stay on its own lazy schedule — otherwise its query
+        answers would depend on the sync cadence (the drain-equivalence
+        property in ``tests/online`` pins this invisibility). Then
         ships each changed node as either an **array delta** — when the
         standby's copy still has the same successor membership (equal
         ``succ_version`` and fid array), the per-edge stat arrays and
@@ -150,17 +155,23 @@ class ShardReplica:
         graph = primary.constructor.graph
         node_map = graph.node_map()
         synced = self._synced_ticks
+        is_dirty = primary.miner.is_dirty
+        # a list is re-shipped when its graph tick moved OR it is dirty:
+        # a dirty-but-tick-unchanged list (demoted at an earlier barrier)
+        # would rank differently now that neighbour vectors advanced, and
+        # the standby must hold exactly what a barrier-time query of the
+        # primary would serve
         changed = [
             fid
             for fid, node in node_map.items()
-            if synced.get(fid) != node.change_tick
+            if synced.get(fid) != node.change_tick or is_dirty(fid)
         ]
         if changed:
             changed.sort()
             # rank at the source so the shipped lists are exactly what
             # the primary would serve at this barrier (skips lists whose
             # tick has not moved since their last rank)
-            primary.miner.flush_nodes_report(changed)
+            ranked_now = primary.miner.flush_nodes_report(changed)
             standby_graph = self.farmer.constructor.graph
             standby_nodes = standby_graph.node_map()
             standby_miner = self.farmer.miner
@@ -187,6 +198,14 @@ class ShardReplica:
                         fid, lst.clone(), node.change_tick
                     )
                 synced[fid] = node.change_tick
+            # the barrier rank above exists for the standby's benefit;
+            # demoting every list it freshly ranked keeps the primary
+            # on its own lazy schedule, so its query answers never
+            # depend on the sync cadence (the mid-stream rank would
+            # otherwise freeze a list's degrees at sync-time vector
+            # state if nothing touches it again)
+            for fid in ranked_now:
+                primary.miner.demote_rank(fid)
         self.farmer.constructor.graph.adopt_window(graph.window_contents())
         # carry the accepted count so a promoted standby's stats() keeps
         # the primary's accounting (intra-package: the replica is an

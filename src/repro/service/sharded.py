@@ -154,7 +154,12 @@ from repro.service.stats import ServiceStats, combine_cache_stats, load_signal
 from repro.traces.record import TraceRecord
 from repro.vsm.vocabulary import ThreadSafeVocabulary
 
-__all__ = ["ShardedFarmer", "RebalanceReport", "AutoRebalanceReport"]
+__all__ = [
+    "ShardedFarmer",
+    "RebalanceReport",
+    "AutoRebalanceReport",
+    "StreamIngestReport",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -180,9 +185,14 @@ class AutoRebalanceReport:
     """What one :meth:`ShardedFarmer.auto_rebalance` call decided and did.
 
     Attributes:
-        loads: per-shard load signal at the decision point (requests
-            absorbed + re-rank entries scanned — the ``ServiceStats``
-            plumbing read live).
+        loads: per-shard load observed **since the previous rebalance
+            decision** (requests absorbed + re-rank entries scanned —
+            the same signal ``ServiceStats.shard_loads`` reports
+            cumulatively). The windowing is the decision contract:
+            every rebalance resets the attribution window, so repeated
+            decisions under steady load converge instead of being
+            pinned by historic skew (see :meth:`ShardedFarmer.
+            auto_rebalance`).
         weights: the consistent-hash ring weights installed (monotone
             decreasing in ``loads``, clamped to the configured band).
         rebalance: the underlying migration's report.
@@ -191,6 +201,30 @@ class AutoRebalanceReport:
     loads: tuple[float, ...]
     weights: tuple[float, ...]
     rebalance: RebalanceReport
+
+
+@dataclass(frozen=True, slots=True)
+class StreamIngestReport:
+    """What one :meth:`ShardedFarmer.ingest_stream` batch folded in.
+
+    Attributes:
+        n_accepted: records ingested by their owner shards (op-filtered
+            records and records owned by failed shards are excluded).
+        n_echoes_placed: boundary echoes delivered to the predecessor's
+            shard within this batch.
+        n_echoes_shed: boundary echoes suppressed because the record was
+            admitted with ``allow_echo=False`` (the overload policy's
+            graceful-degradation lever: echoes are extra mining work on
+            a second shard, so they are the first thing to go).
+        n_dropped_failed: owned records dropped because their owner
+            shard is failed (the online path degrades instead of
+            raising; the batch entry points raise ``ShardFailedError``).
+    """
+
+    n_accepted: int
+    n_echoes_placed: int
+    n_echoes_shed: int
+    n_dropped_failed: int
 
 
 class ShardedFarmer:
@@ -262,6 +296,14 @@ class ShardedFarmer:
         self._last_active: list[int] = [0] * n
         self._n_idle_drains = 0
         self._n_echoes_dropped = 0
+        # per-destination echo accounting: the online backpressure
+        # policy reads these live (a hot destination shows up as a deep
+        # queue; a failed one as a growing drop count)
+        self._echo_drops_by_dest: list[int] = [0] * n
+        self._n_echoes_shed = 0
+        # load-attribution marks: raw load signals at the last rebalance
+        # decision, so auto_rebalance reads only the inter-decision window
+        self._load_marks: list[float] = [0.0] * n
         self._n_failovers = 0
         self._since_standby_sync = 0
         self._last_standby_sync = 0
@@ -327,6 +369,29 @@ class ShardedFarmer:
         """Boundary echoes currently queued and not yet delivered."""
         return sum(len(q) for q in self._echo_queues)
 
+    @property
+    def echo_queue_depths(self) -> tuple[int, ...]:
+        """Per-destination-shard depth of the boundary-echo queues,
+        read live (the admission-control input: a destination that
+        stopped draining shows up here before anything overflows)."""
+        return tuple(len(q) for q in self._echo_queues)
+
+    @property
+    def echo_drop_counts(self) -> tuple[int, ...]:
+        """Per-destination-shard count of boundary echoes lost to that
+        shard's failure — in-flight at ``fail_shard`` time or enqueued
+        while the destination was down. Sums to
+        :attr:`n_echoes_dropped` over the shard lifetime (a shrink
+        rebalance truncates the per-shard view with the shards)."""
+        return tuple(self._echo_drops_by_dest)
+
+    @property
+    def n_echoes_shed(self) -> int:
+        """Boundary echoes suppressed by overload shedding — records
+        folded through :meth:`ingest_stream` with ``allow_echo=False``
+        that turned out to be boundary requests."""
+        return self._n_echoes_shed
+
     def _enqueue_echo(self, prev: int, record: TraceRecord) -> None:
         """Queue a boundary echo for the predecessor's shard.
 
@@ -341,6 +406,7 @@ class ShardedFarmer:
         self._n_boundary_echoes += 1
         if prev in self._failed:
             self._n_echoes_dropped += 1
+            self._echo_drops_by_dest[prev] += 1
             return
         if not self.config.lazy_reevaluation:
             self.shards[prev].observe_echo(record)
@@ -531,6 +597,158 @@ class ShardedFarmer:
                 self.sync_standbys()
         return self
 
+    def ingest_stream(
+        self, items: Iterable[tuple[TraceRecord, bool]]
+    ) -> StreamIngestReport:
+        """The online consumer's batch seam: fold ``(record, allow_echo)``
+        pairs into the shards, deferring every list rank to query time.
+
+        This is :meth:`observe` at batch granularity with two online
+        twists:
+
+        * **Per-record echo control.** A record admitted with
+          ``allow_echo=False`` (the pipeline's echo-shed watermark was
+          exceeded at admission) never places a boundary echo — the
+          cross-shard edge is sacrificed before any owned observation
+          is, and the sacrifice is counted (:attr:`n_echoes_shed`).
+        * **Graceful degradation under failure.** A record owned by a
+          failed shard is dropped and counted instead of raising — the
+          online service keeps absorbing every healthy partition's
+          stream while an operator promotes the standby. (The batch
+          entry points ``observe``/``mine`` raise
+          :class:`ShardFailedError` instead; a library caller wants the
+          loud contract, a long-running service wants to keep serving.)
+
+        Echo placement is **batch-seam-independent**: at
+        ``echo_flush_interval == 0`` echoes sit inline in the
+        destination's substream (the just-in-time order), so any
+        chunking of the stream is bit-identical to one batch
+        :meth:`mine` of the same records; at ``K > 0`` echoes go
+        through the per-destination queues on :meth:`observe`'s
+        accepted-request cadence — the counter spans batch seams — so
+        any chunking reproduces the record-at-a-time ``observe``
+        schedule exactly (a single :meth:`mine` places its echoes at
+        its own one-batch barrier instead, so it is *not* the K > 0
+        reference). Lists are a pure function of the end-of-stream
+        graph/vector state either way (property-tested in
+        ``tests/online``). Standby sync barriers keep their
+        accepted-request cadence across batches.
+        """
+        n = len(self.shards)
+        subs: list[list[tuple[TraceRecord, bool]]] = [[] for _ in range(n)]
+        interval = self.config.echo_flush_interval
+        lazy = self.config.lazy_reevaluation
+        sync_every = self.config.standby_sync_interval
+        batched = lazy and interval > 0
+        if not batched and self._queued_shards:
+            # leftovers queued by interleaved observe() calls are
+            # delivered first so the batch starts from drained FIFO
+            # state (position-safe: nothing lands on a destination in
+            # between, so its window is the same now as at the next
+            # just-in-time drain). Under the K > 0 cadence the queues
+            # must keep waiting for their cadence point instead.
+            self.flush_echoes()
+        op_filter = self.config.op_filter
+        cross = self.config.cross_shard_edges
+        route = self.router.route
+        failed = self._failed
+        prev = self._prev_owner
+        last_fid = self._prev_fid
+        accepted = 0
+        ingested = 0  # accepted records already folded (cadence chunks)
+        echoes_placed = 0
+        echoes_shed = 0
+        dropped_failed = 0
+
+        def fold_pending() -> None:
+            # fold the accumulated owned substreams into the shards.
+            # Unlike mine(), the touched nodes are only marked dirty,
+            # not flushed: the online consumer defers every rank to
+            # query time, and a list is a pure function of end-state
+            # either way
+            nonlocal ingested
+            self._n_observed += accepted - ingested
+            ingested = accepted
+            for index, shard in enumerate(self.shards):
+                sub = subs[index]
+                if sub:
+                    mark = shard.miner.mark_dirty
+                    for fid in shard.ingest_mixed(sub):
+                        mark(fid)
+                    subs[index] = []
+                    self._last_active[index] = self._n_observed
+
+        for record, allow_echo in items:
+            if op_filter is not None and record.op not in op_filter:
+                continue
+            owner = route(record.fid)
+            if owner in failed:
+                # the partition is down: its share of the stream is the
+                # loss window, but boundary geometry stays truthful (the
+                # request happened; its successor's echo would target
+                # the failed owner and be dropped below)
+                dropped_failed += 1
+                prev = owner
+                last_fid = record.fid
+                continue
+            subs[owner].append((record, False))
+            if cross and prev is not None and prev != owner:
+                self._n_boundary_echoes += 1
+                if not allow_echo:
+                    echoes_shed += 1
+                elif prev in failed:
+                    self._n_echoes_dropped += 1
+                    self._echo_drops_by_dest[prev] += 1
+                else:
+                    if batched:
+                        self._echo_queues[prev].append(record)
+                        self._queued_shards.add(prev)
+                    else:
+                        subs[prev].append((record, True))
+                    echoes_placed += 1
+            prev = owner
+            last_fid = record.fid
+            accepted += 1
+            if batched:
+                self._since_echo_flush += 1
+                if self._since_echo_flush >= interval:
+                    # the cadence point: destinations must hold their
+                    # owned records up to here before delivery, exactly
+                    # as the record-at-a-time schedule would
+                    fold_pending()
+                    self.flush_echoes()
+            if lazy and self._replicator is not None:
+                self._since_standby_sync += 1
+                if self._since_standby_sync >= sync_every:
+                    # per-record cadence, not per-batch: the barrier
+                    # (and the echo flush inside it, which resets the
+                    # echo cadence) must land at exactly the accepted
+                    # count the record-at-a-time schedule would pick
+                    fold_pending()
+                    self.sync_standbys()
+        if not lazy:
+            self._n_observed += accepted
+            for index, (shard, sub) in enumerate(zip(self.shards, subs)):
+                if sub:
+                    shard.mine_mixed(sub)
+                    self._last_active[index] = self._n_observed
+        else:
+            fold_pending()
+        self._n_echoes_shed += echoes_shed
+        self._prev_owner = prev
+        if last_fid is not None:
+            self._prev_fid = last_fid
+        if not lazy and self._replicator is not None:
+            self._since_standby_sync += accepted
+            if self._since_standby_sync >= sync_every:
+                self.sync_standbys()
+        return StreamIngestReport(
+            n_accepted=accepted,
+            n_echoes_placed=echoes_placed,
+            n_echoes_shed=echoes_shed,
+            n_dropped_failed=dropped_failed,
+        )
+
     # ------------------------------------------------------------------
     # queries (route to the owner shard)
     # ------------------------------------------------------------------
@@ -649,7 +867,10 @@ class ShardedFarmer:
     def stats(self) -> ServiceStats:
         """Aggregated per-shard stats, cache counters and memory
         (pending echoes are delivered first so every counter reflects
-        the full routed stream)."""
+        the full routed stream; ``echo_queue_depths`` is captured
+        *before* that drain — it reports the queues as the caller found
+        them, not the zeros the drain leaves behind)."""
+        depths = self.echo_queue_depths
         self.flush_echoes()
         replicator = self._replicator
         return ServiceStats(
@@ -666,6 +887,9 @@ class ShardedFarmer:
             n_echoes_dropped=self._n_echoes_dropped,
             n_failovers=self._n_failovers,
             n_standby_syncs=replicator.n_barriers if replicator else 0,
+            echo_queue_depths=depths,
+            echo_drops_by_shard=tuple(self._echo_drops_by_dest),
+            n_echoes_shed=self._n_echoes_shed,
         )
 
     # ------------------------------------------------------------------
@@ -781,6 +1005,7 @@ class ShardedFarmer:
             )
             self.shards = tuple(shards)
             self._echo_queues.extend(deque() for _ in range(new_n - old_n))
+            self._echo_drops_by_dest.extend(0 for _ in range(new_n - old_n))
             self._last_active.extend(
                 self._n_observed for _ in range(new_n - old_n)
             )
@@ -820,6 +1045,7 @@ class ShardedFarmer:
         if new_n < old_n:
             self.shards = self.shards[:new_n]
             del self._echo_queues[new_n:]
+            del self._echo_drops_by_dest[new_n:]
             del self._last_active[new_n:]
         self.router = router
         self.config = self.config.with_(n_shards=new_n, shard_policy=new_policy)
@@ -835,6 +1061,10 @@ class ShardedFarmer:
             self._prev_owner = None
         self._n_rebalances += 1
         self._n_migrated_fids += n_migrated
+        # every topology change resets the load-attribution window: the
+        # namespace just moved, so pre-rebalance load no longer describes
+        # the shards it landed on (auto_rebalance's convergence contract)
+        self._mark_loads()
         if self._replicator is not None:
             # ownership moved wholesale: stale standbys are worthless,
             # so rebuild them and take a fresh barrier immediately
@@ -853,16 +1083,45 @@ class ShardedFarmer:
     # load-aware rebalancing
     # ------------------------------------------------------------------
 
-    def shard_loads(self) -> tuple[float, ...]:
-        """Per-shard load signal: requests absorbed (owned + echoes)
-        plus re-rank entries scanned — the same counters
-        :class:`~repro.service.stats.ServiceStats` aggregates, read
-        live without the full stats rollup."""
+    def _raw_loads(self) -> tuple[float, ...]:
+        """Lifetime per-shard load signals (no windowing)."""
         return tuple(
             load_signal(
                 shard.n_observed, shard.miner.rerank_stats().entries_scanned
             )
             for shard in self.shards
+        )
+
+    def _mark_loads(self) -> None:
+        """Reset the load-attribution window to now: subsequent
+        ``shard_loads(since_decision=True)`` reads start from zero.
+        Called at the end of every :meth:`rebalance` (any topology
+        change invalidates prior attribution) and per shard at
+        :meth:`promote_standby` (the promoted Farmer's counters restart
+        at the standby's values)."""
+        self._load_marks = list(self._raw_loads())
+
+    def shard_loads(self, *, since_decision: bool = False) -> tuple[float, ...]:
+        """Per-shard load signal: requests absorbed (owned + echoes)
+        plus re-rank entries scanned — the same counters
+        :class:`~repro.service.stats.ServiceStats` aggregates, read
+        live without the full stats rollup.
+
+        Args:
+            since_decision: if True, return only the load observed
+                since the last rebalance decision (or construction) —
+                the window :meth:`auto_rebalance` feeds into ring
+                weights. Default False returns the lifetime totals,
+                which is what ``ServiceStats.shard_loads`` reports.
+        """
+        raw = self._raw_loads()
+        if not since_decision:
+            return raw
+        marks = self._load_marks
+        # clamped at zero: a promoted standby's counters restart below
+        # the failed primary's mark
+        return tuple(
+            max(0.0, r - m) for r, m in zip(raw, marks)
         )
 
     def auto_rebalance(
@@ -871,15 +1130,30 @@ class ShardedFarmer:
         """Feed observed per-shard load back into consistent-hash ring
         weights and rebalance onto them.
 
-        Each shard's weight is the mean load over its own load
-        (clamped to ``[weight_floor, weight_ceiling]``), so weights are
-        monotone *decreasing* in load: a shard that absorbed twice the
-        average work gets half the average ring share and sheds
-        namespace, a near-idle shard absorbs it. With no load observed
-        yet the ring stays uniform. The shard count is unchanged; the
-        router policy becomes ``consistent_hash`` (the only weighted
-        policy). Queries are invariant, exactly as for any
-        :meth:`rebalance` (property-tested).
+        The decision reads each shard's load **since the previous
+        rebalance decision** (``shard_loads(since_decision=True)``),
+        not the lifetime totals. That windowing is the convergence
+        contract: after a decision moves namespace off a hot shard, the
+        next decision judges the shards by what they absorbed *under
+        the new topology* — lifetime counters would keep penalising a
+        shard for skew it already shed, pinning it at the weight floor
+        forever. Every :meth:`rebalance` (manual or automatic) resets
+        the window; :meth:`promote_standby` resets the promoted shard's
+        mark to the standby's counters.
+
+        Each shard's weight is the window's mean load over its own
+        window load (clamped to ``[weight_floor, weight_ceiling]``), so
+        weights are monotone *decreasing* in load: a shard that
+        absorbed twice the average work gets half the average ring
+        share and sheds namespace, a near-idle shard absorbs it. A
+        window with **no observed load at all** (an immediate second
+        decision, or a freshly-built service) installs no new opinion:
+        the current ring weights are kept verbatim (uniform if the
+        current router has none), so a signal-free decision is a no-op
+        rather than a silent reset to uniform. The shard count is
+        unchanged; the router policy becomes ``consistent_hash`` (the
+        only weighted policy). Queries are invariant, exactly as for
+        any :meth:`rebalance` (property-tested).
 
         Args:
             weight_floor: lower clamp — keeps a pathologically hot
@@ -888,17 +1162,22 @@ class ShardedFarmer:
                 swallowing the namespace.
 
         Returns:
-            An :class:`AutoRebalanceReport` with the loads read, the
-            weights installed, and the underlying migration report.
+            An :class:`AutoRebalanceReport` with the window loads read,
+            the weights installed, and the underlying migration report.
         """
         if not 0.0 < weight_floor <= weight_ceiling:
             raise ConfigError(
                 "need 0 < weight_floor <= weight_ceiling for auto_rebalance"
             )
-        loads = self.shard_loads()
+        loads = self.shard_loads(since_decision=True)
         total = sum(loads)
         if total <= 0.0:
-            weights = tuple(1.0 for _ in loads)
+            current = getattr(self.router, "weights", None)
+            weights = (
+                tuple(current)
+                if current is not None and len(current) == len(loads)
+                else tuple(1.0 for _ in loads)
+            )
         else:
             mean_load = total / len(loads)
             weights = tuple(
@@ -962,6 +1241,7 @@ class ShardedFarmer:
         self._echo_queues[index].clear()
         self._queued_shards.discard(index)
         self._n_echoes_dropped += dropped
+        self._echo_drops_by_dest[index] += dropped
         shards = list(self.shards)
         # an empty placeholder keeps aggregate walks (stats/snapshot)
         # total; the _failed guard keeps routed traffic out of it
@@ -997,6 +1277,14 @@ class ShardedFarmer:
         self.shards = tuple(shards)
         self._failed.discard(index)
         self._last_active[index] = self._n_observed
+        # the promoted Farmer's counters restart at the standby's values
+        # (below the failed primary's mark) — re-mark so the next
+        # auto_rebalance window for this shard starts at zero, not at a
+        # clamp artifact
+        self._load_marks[index] = load_signal(
+            replica.farmer.n_observed,
+            replica.farmer.miner.rerank_stats().entries_scanned,
+        )
         promote_s = time.perf_counter() - start
         start = time.perf_counter()
         replicator.reseed(index)

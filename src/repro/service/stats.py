@@ -102,6 +102,21 @@ class ServiceStats:
         n_failovers: standby promotions performed.
         n_standby_syncs: standby sync barriers run (0 with replication
             disabled).
+        echo_queue_depths: per-destination-shard boundary-echo queue
+            depth **as the stats() caller found it** (the rollup drains
+            the queues, so this is captured before the drain). This is
+            the online backpressure policy's admission input: a
+            destination that stopped draining shows up here before
+            anything overflows.
+        echo_drops_by_shard: per-destination-shard count of boundary
+            echoes lost to that shard's failure; sums to
+            ``n_echoes_dropped`` over the shard lifetime.
+        n_echoes_shed: boundary echoes deliberately suppressed by
+            overload shedding (records folded through
+            ``ShardedFarmer.ingest_stream`` with ``allow_echo=False``
+            that turned out to be boundary requests) — degradation the
+            service *chose*, as opposed to ``n_echoes_dropped`` which
+            it suffered.
     """
 
     n_shards: int
@@ -117,6 +132,9 @@ class ServiceStats:
     n_echoes_dropped: int = 0
     n_failovers: int = 0
     n_standby_syncs: int = 0
+    echo_queue_depths: tuple[int, ...] = ()
+    echo_drops_by_shard: tuple[int, ...] = ()
+    n_echoes_shed: int = 0
 
     @property
     def memory_megabytes(self) -> float:

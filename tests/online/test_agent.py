@@ -1,0 +1,232 @@
+"""Agents: arrival patterns, deterministic replay, live file tailing."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.online.agent import (
+    BurstyRate,
+    ConstantRate,
+    DiurnalRate,
+    FileTailAgent,
+    ReplayAgent,
+)
+from repro.online.pipeline import Admission
+from tests.conftest import sequence_records
+
+
+class FakeSink:
+    """Scripted sink: answers offers from a plan, then accepts."""
+
+    def __init__(self, plan=()):
+        self.plan = list(plan)
+        self.offers = []
+
+    def offer(self, record):
+        self.offers.append(record)
+        if self.plan:
+            return self.plan.pop(0)
+        return Admission.ACCEPTED
+
+
+class TestPatterns:
+    def test_constant_rate(self):
+        pattern = ConstantRate(100.0)
+        assert pattern.rate(0.0) == 100.0
+        assert pattern.arrivals(3.0, 0.5) == pytest.approx(50.0)
+
+    def test_bursty_phases(self):
+        pattern = BurstyRate(base=10.0, burst=100.0, period=10.0, duty=0.2)
+        assert pattern.rate(0.0) == 100.0  # in the burst
+        assert pattern.rate(1.9) == 100.0
+        assert pattern.rate(2.1) == 10.0  # quiet phase
+        assert pattern.rate(12.1) == 10.0  # next period, same phase
+
+    def test_diurnal_trough_and_peak(self):
+        pattern = DiurnalRate(trough=10.0, peak=90.0, period=60.0)
+        assert pattern.rate(0.0) == pytest.approx(10.0)
+        assert pattern.rate(30.0) == pytest.approx(90.0)
+        assert pattern.rate(15.0) == pytest.approx(50.0)
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: ConstantRate(0.0),
+            lambda: ConstantRate(-5.0),
+            lambda: BurstyRate(base=-1.0, burst=10.0),
+            lambda: BurstyRate(base=1.0, burst=0.0),
+            lambda: BurstyRate(base=1.0, burst=10.0, duty=1.5),
+            lambda: BurstyRate(base=1.0, burst=10.0, period=0.0),
+            lambda: DiurnalRate(trough=-1.0, peak=10.0),
+            lambda: DiurnalRate(trough=20.0, peak=10.0),
+            lambda: DiurnalRate(trough=1.0, peak=2.0, period=0.0),
+        ],
+    )
+    def test_pattern_validation(self, build):
+        with pytest.raises(ConfigError):
+            build()
+
+
+class TestReplayAgent:
+    def test_batches_integrate_the_rate_exactly(self):
+        """100/s at 10ms ticks is exactly one record per tick."""
+        records = sequence_records(range(10))
+        agent = ReplayAgent(records, ConstantRate(100.0), tick_s=0.01)
+        sizes = [len(b) for b in agent.batches()]
+        assert sizes == [1] * 10
+
+    def test_fractional_arrivals_carry_over(self):
+        """150/s at 10ms ticks = 1.5/tick: the schedule alternates 1, 2
+        instead of rounding the half-arrival away every tick."""
+        records = sequence_records(range(9))
+        agent = ReplayAgent(records, ConstantRate(150.0), tick_s=0.01)
+        sizes = [len(b) for b in agent.batches()]
+        assert sizes == [1, 2, 1, 2, 1, 2]
+        assert sum(sizes) == 9
+
+    def test_batches_are_deterministic(self):
+        records = sequence_records(range(50))
+        agent = ReplayAgent(
+            records, BurstyRate(base=100.0, burst=1000.0, period=0.1)
+        )
+        first = [len(b) for b in agent.batches()]
+        second = [len(b) for b in agent.batches()]
+        assert first == second
+        assert sum(first) == 50
+
+    def test_batches_preserve_record_order(self):
+        records = sequence_records(range(20))
+        agent = ReplayAgent(records, ConstantRate(350.0))
+        replayed = [r for batch in agent.batches() for r in batch]
+        assert replayed == records
+
+    def test_run_offers_everything_with_accepting_sink(self):
+        records = sequence_records(range(25))
+        sink = FakeSink()
+        report = ReplayAgent(records, ConstantRate(10_000.0)).run(sink)
+        assert report.n_offered == report.n_accepted == 25
+        assert report.n_deferred == report.n_shed == report.n_abandoned == 0
+        assert sink.offers == records
+
+    def test_run_counts_degraded_and_shed(self):
+        records = sequence_records(range(3))
+        sink = FakeSink(
+            [
+                Admission.ACCEPTED,
+                Admission.ACCEPTED_ECHO_SHED,
+                Admission.SHED,
+            ]
+        )
+        report = ReplayAgent(records).run(sink)
+        assert report.n_accepted == 2
+        assert report.n_echo_degraded == 1
+        assert report.n_shed == 1
+
+    def test_run_retries_deferred_then_succeeds(self):
+        records = sequence_records(range(1))
+        sink = FakeSink([Admission.DEFERRED] * 3)
+        sleeps = []
+        report = ReplayAgent(
+            records, defer_retries=5, retry_delay_s=0.25, sleep=sleeps.append
+        ).run(sink)
+        assert report.n_deferred == 3
+        assert report.n_accepted == 1
+        assert report.n_abandoned == 0
+        assert sleeps == [0.25] * 3  # backpressure cost the agent sleep
+
+    def test_run_abandons_after_retries_exhausted(self):
+        records = sequence_records(range(1))
+        sink = FakeSink([Admission.DEFERRED] * 100)
+        report = ReplayAgent(
+            records, defer_retries=4, retry_delay_s=0.0, sleep=lambda _: None
+        ).run(sink)
+        assert report.n_abandoned == 1
+        assert report.n_accepted == 0
+        assert report.n_deferred == 5  # initial offer + 4 retries
+
+    def test_rejects_bad_tick(self):
+        with pytest.raises(ConfigError):
+            ReplayAgent([], tick_s=0.0)
+
+
+class TestFileTailAgent:
+    def _line(self, fid, ts=0):
+        return json.dumps(
+            {"ts": ts, "fid": fid, "uid": 1, "pid": 1, "host": 1, "op": "open"}
+        )
+
+    def test_tails_appends_until_stopped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(self._line(1) + "\n")
+        agent = FileTailAgent(path, poll_interval_s=0.005)
+        sink = FakeSink()
+        reports = []
+        thread = threading.Thread(target=lambda: reports.append(agent.run(sink)))
+        thread.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while len(sink.offers) < 1 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            with open(path, "a") as fh:
+                fh.write(self._line(2) + "\n" + self._line(3) + "\n")
+            while len(sink.offers) < 3 and time.monotonic() < deadline:
+                time.sleep(0.005)
+        finally:
+            agent.stop()
+            thread.join(timeout=5.0)
+        assert [r.fid for r in sink.offers] == [1, 2, 3]
+        assert reports[0].n_accepted == 3
+
+    def test_partial_line_waits_for_newline(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        full = self._line(7)
+        path.write_text(full[: len(full) // 2])  # a writer mid-append
+        agent = FileTailAgent(path, poll_interval_s=0.005)
+        sink = FakeSink()
+        thread = threading.Thread(target=lambda: agent.run(sink))
+        thread.start()
+        try:
+            time.sleep(0.05)
+            assert sink.offers == []  # never parses a half record
+            with open(path, "a") as fh:
+                fh.write(full[len(full) // 2 :] + "\n")
+            deadline = time.monotonic() + 5.0
+            while not sink.offers and time.monotonic() < deadline:
+                time.sleep(0.005)
+        finally:
+            agent.stop()
+            thread.join(timeout=5.0)
+        assert [r.fid for r in sink.offers] == [7]
+
+    def test_idle_timeout_ends_the_run(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(self._line(1) + "\n")
+        agent = FileTailAgent(
+            path, poll_interval_s=0.005, idle_timeout_s=0.02
+        )
+        report = agent.run(FakeSink())  # returns by itself: no stop() needed
+        assert report.n_accepted == 1
+
+    def test_missing_file_then_created(self, tmp_path):
+        path = tmp_path / "late.jsonl"
+        agent = FileTailAgent(path, poll_interval_s=0.005)
+        sink = FakeSink()
+        thread = threading.Thread(target=lambda: agent.run(sink))
+        thread.start()
+        try:
+            time.sleep(0.02)
+            path.write_text(self._line(9) + "\n")
+            deadline = time.monotonic() + 5.0
+            while not sink.offers and time.monotonic() < deadline:
+                time.sleep(0.005)
+        finally:
+            agent.stop()
+            thread.join(timeout=5.0)
+        assert [r.fid for r in sink.offers] == [9]
+
+    def test_rejects_bad_poll_interval(self, tmp_path):
+        with pytest.raises(ConfigError):
+            FileTailAgent(tmp_path / "x.jsonl", poll_interval_s=0.0)

@@ -1,0 +1,93 @@
+"""Graceful degradation under overload (ISSUE 7 acceptance).
+
+The degradation ladder must engage strictly in order: cross-shard
+echoes are shed first, then sources are deferred, and owned observes
+are lost only at the hard queue bound — zero owned-observe drops until
+the shed watermark is exceeded, all of it counted in telemetry.
+"""
+
+from repro.core.config import FarmerConfig
+from repro.online.pipeline import (
+    Admission,
+    AdmissionPolicy,
+    OnlineService,
+)
+from tests.conftest import sequence_records
+
+
+def overload(online, n):
+    """Offer n records into a service whose consumer is NOT running —
+    pure queue pressure, every admission decision observable."""
+    outcomes = []
+    for r in sequence_records([2, 3] * (n // 2)):  # every pair a boundary
+        outcomes.append(online.offer(r))
+    return outcomes
+
+
+class TestDegradationOrder:
+    def make(self, capacity=20, echo=0.5, defer=1.0):
+        cfg = FarmerConfig(n_shards=2, max_strength=0.0, weight_p=0.0)
+        return OnlineService(
+            cfg,
+            policy=AdmissionPolicy(
+                capacity=capacity, echo_watermark=echo, defer_watermark=defer
+            ),
+            batch_size=capacity,
+        )
+
+    def test_zero_owned_drops_until_hard_bound(self):
+        """With defer folded into the bound (defer=1.0): every record
+        below capacity is *admitted* — echo-degraded maybe, but mined.
+        Shedding starts at exactly the capacity-th record."""
+        online = self.make(capacity=20)
+        outcomes = overload(online, 30)
+        assert outcomes[:10] == [Admission.ACCEPTED] * 10
+        assert outcomes[10:20] == [Admission.ACCEPTED_ECHO_SHED] * 10
+        assert outcomes[20:] == [Admission.SHED] * 10
+        counters = online.pipeline.counters()
+        assert counters.n_accepted == 20  # zero owned drops below the bound
+        assert counters.n_shed == 10
+
+    def test_defer_engages_before_shed(self):
+        """With a real defer watermark nothing is ever shed: offers
+        above it bounce back to the source instead."""
+        online = self.make(capacity=20, defer=0.8)
+        outcomes = overload(online, 30)
+        assert Admission.SHED not in outcomes
+        assert outcomes[16:] == [Admission.DEFERRED] * 14
+        assert online.pipeline.counters().n_shed == 0
+
+    def test_shed_echoes_never_shed_observes(self):
+        """Drain the degraded queue: every admitted record mined (the
+        owner shard observed it); only cross-shard echoes were lost,
+        and exactly the flagged ones."""
+        online = self.make(capacity=20)
+        overload(online, 30)
+        online.drain()
+        counters = online.pipeline.counters()
+        # every admitted record was mined — owned observes survived
+        assert online.service.n_observed == counters.n_accepted == 20
+        # the 10 echo-degraded admissions shed their boundary echoes
+        # (minus none: with the [2,3] alternation every record after the
+        # first is a boundary request)
+        assert online.service.n_echoes_shed == 10
+        # and the unflagged ones were delivered
+        assert online.service.n_boundary_echoes == 19
+
+    def test_shedding_is_counted_in_telemetry(self):
+        online = self.make(capacity=20)
+        overload(online, 30)
+        online.drain()
+        t = online.telemetry
+        assert t.counter("admission.accepted") == 10
+        assert t.counter("admission.accepted_echo_shed") == 10
+        assert t.counter("admission.shed") == 10
+        assert t.counter("ingest.echoes_shed") == 10
+
+    def test_recovery_after_pressure_passes(self):
+        """Once the queue drains, admission returns to full service —
+        watermarks read live depth, not history."""
+        online = self.make(capacity=20)
+        overload(online, 30)
+        online.drain()
+        assert online.offer(sequence_records([2])[0]) is Admission.ACCEPTED

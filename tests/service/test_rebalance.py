@@ -334,3 +334,87 @@ class TestAutoRebalance:
             service.auto_rebalance(weight_floor=0.0)
         with pytest.raises(ConfigError):
             service.auto_rebalance(weight_floor=2.0, weight_ceiling=1.0)
+
+
+class TestLoadWindowLifecycle:
+    """The load-attribution window behind ``auto_rebalance``: every
+    decision reads only the load observed since the *previous* decision
+    (ISSUE 7 satellite). Lifetime counters would keep punishing a shard
+    for skew it already shed, pinning it at the weight floor forever."""
+
+    def test_decision_resets_the_window(self):
+        service = TestAutoRebalance.skewed_service()
+        assert max(service.shard_loads(since_decision=True)) > 0
+        service.auto_rebalance()
+        # the decision consumed the window: reads restart from zero
+        assert service.shard_loads(since_decision=True) == (0.0,) * 4
+        # lifetime totals are untouched by the windowing
+        assert max(service.shard_loads()) > 0
+
+    def test_immediate_second_decision_keeps_weights(self):
+        """A zero-signal window installs no new opinion: the second
+        decision keeps the first one's ring weights verbatim and moves
+        nothing, instead of silently resetting to uniform."""
+        service = TestAutoRebalance.skewed_service()
+        first = service.auto_rebalance()
+        second = service.auto_rebalance()
+        assert second.loads == (0.0,) * 4
+        assert second.weights == first.weights
+        assert second.rebalance.n_migrated == 0
+
+    def test_manual_rebalance_also_resets_the_window(self):
+        """Any topology change invalidates prior load attribution, so a
+        manual ``rebalance`` resets the window too: an auto decision
+        right after sees no signal and keeps the (uniform) weights."""
+        service = TestAutoRebalance.skewed_service()
+        service.rebalance(policy="consistent_hash")
+        report = service.auto_rebalance()
+        assert report.loads == (0.0,) * 4
+        assert report.weights == (1.0,) * 4
+
+    def test_next_window_reflects_only_fresh_load(self):
+        """Skew toward shard 0, decide, then skew the *new* topology's
+        stream toward a different shard: the second decision judges by
+        the fresh window only — the old hot shard is no longer the one
+        whose weight is cut."""
+        service = TestAutoRebalance.skewed_service()
+        service.auto_rebalance()
+        # find fids the new (consistent-hash) router sends to shard 2
+        # and hammer them: shard 2 owns the fresh window
+        route = service.router.route
+        hot = [fid for fid in range(1, 400) if route(fid) == 2][:30]
+        assert hot, "need fids owned by shard 2 under the new ring"
+        for r in sequence_records(hot * 6):
+            service.observe(r)
+            service.predict(r.fid)
+        report = service.auto_rebalance()
+        assert report.loads[2] == max(report.loads)
+        assert report.weights[2] == min(report.weights)
+
+    def test_promotion_resets_the_promoted_shards_mark(self):
+        """A promoted standby's counters restart below the failed
+        primary's mark; the re-mark at promotion keeps its next window
+        near zero instead of a clamp artifact swallowing real load."""
+        service = ShardedFarmer(
+            FarmerConfig(
+                max_strength=0.0,
+                n_shards=4,
+                replication=True,
+                standby_sync_interval=50,
+            )
+        )
+        hot = [fid * 4 for fid in range(1, 40)]  # residue 0: shard 0
+        for r in sequence_records(hot * 6):
+            service.observe(r)
+            service.predict(r.fid)
+        before = service.shard_loads(since_decision=True)[0]
+        assert before > 0
+        service.fail_shard(0)
+        service.promote_standby(0)
+        after = service.shard_loads(since_decision=True)[0]
+        # the promoted shard's window restarts at the standby's counters
+        # (re-marked at promotion), not at the dead primary's lifetime
+        # skew — only the promotion's own reseed work remains visible
+        assert after < before
+        # and the clamp never reports a negative window
+        assert all(w >= 0.0 for w in service.shard_loads(since_decision=True))

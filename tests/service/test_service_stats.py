@@ -9,6 +9,7 @@ from repro.core.simcache import SimCacheStats
 from repro.service.sharded import ShardedFarmer
 from repro.service.stats import ServiceStats, combine_cache_stats
 from repro.traces.synthetic import generate_trace
+from tests.conftest import sequence_records
 
 
 def mined_service(n_shards=4, n_events=2_000, **cfg) -> ShardedFarmer:
@@ -83,6 +84,57 @@ class TestServiceStats:
     def test_shared_cache_stats_are_service_wide(self):
         service = mined_service()
         assert service.stats().sim_cache == service.sim_cache.stats()
+
+
+class TestEchoAccountingFields:
+    """Per-destination echo-queue visibility through ``ServiceStats``
+    (ISSUE 7 satellite): queue depths as the caller found them, drop
+    counts by destination, and the online path's shed counter."""
+
+    def boundary_service(self, **cfg) -> ShardedFarmer:
+        base = dict(n_shards=2, max_strength=0.0, weight_p=0.0)
+        base.update(cfg)
+        service = ShardedFarmer(FarmerConfig(**base))
+        for r in sequence_records([2, 3] * 4):
+            service.observe(r)
+        return service
+
+    def test_depths_snapshot_precedes_the_rollup_drain(self):
+        service = self.boundary_service(echo_flush_interval=100)
+        stats = service.stats()
+        assert len(stats.echo_queue_depths) == 2
+        assert sum(stats.echo_queue_depths) == 7  # every transition queued
+        # the rollup itself drained them; a second read reports zeros
+        assert sum(service.stats().echo_queue_depths) == 0
+
+    def test_drop_counts_attributed_to_the_failed_destination(self):
+        service = self.boundary_service(replication=True)
+        service.fail_shard(0)
+        for r, allow in ((r, True) for r in sequence_records([2, 3] * 4)):
+            service.ingest_stream([(r, allow)])
+        stats = service.stats()
+        assert stats.echo_drops_by_shard[0] > 0
+        assert stats.echo_drops_by_shard[1] == 0
+        assert sum(stats.echo_drops_by_shard) == stats.n_echoes_dropped
+
+    def test_shed_counter_reaches_stats(self):
+        service = self.boundary_service()
+        service.ingest_stream(
+            (r, False) for r in sequence_records([2, 3] * 3)
+        )
+        # 5 transitions inside the stream, plus the boundary against the
+        # predecessor carried over from the pre-observed warmup trace
+        assert service.stats().n_echoes_shed == 6
+
+    def test_fields_default_clean_on_quiet_service(self):
+        service = mined_service(n_shards=2)
+        # JIT drains lazily, before the destination's next own event —
+        # the trailing record's echo may still sit queued, so settle it
+        service.flush_echoes()
+        stats = service.stats()
+        assert stats.echo_drops_by_shard == (0, 0)
+        assert stats.n_echoes_shed == 0
+        assert sum(stats.echo_queue_depths) == 0
 
 
 class TestFarmerStatsSurface:

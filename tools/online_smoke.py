@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the online ingestion service (`repro serve`).
+
+What CI runs (and anyone can run locally)::
+
+    PYTHONPATH=src python tools/online_smoke.py
+
+The script:
+
+1. writes a synthetic JSONL trace file head (nothing in it yet),
+2. starts ``python -m repro serve --tail <file>`` as a subprocess with
+   replication on, reading the readiness line for the bound URL,
+3. appends 2000 records to the tailed file (the agent picks them up
+   live) and waits until ``/stats`` reports them all mined,
+4. exercises ``/predict``, ``/stats``, ``/snapshot``, ``/telemetry``,
+5. triggers ``fail_shard`` + ``promote_standby`` over the API and
+   checks the service still answers queries,
+6. posts ``/drain`` then ``/shutdown`` and asserts the process exits 0
+   with the final accounting on stdout.
+
+Any failed assertion or a hung step exits non-zero, printing the
+server's captured output for diagnosis.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+N_RECORDS = 2000
+STEP_TIMEOUT_S = 60.0
+
+
+def get(url: str, path: str) -> dict:
+    with urllib.request.urlopen(url + path, timeout=10.0) as resp:
+        return json.loads(resp.read())
+
+
+def post(url: str, path: str, payload: dict | None = None) -> dict:
+    data = json.dumps(payload).encode() if payload is not None else b""
+    req = urllib.request.Request(url + path, data=data, method="POST")
+    with urllib.request.urlopen(req, timeout=30.0) as resp:
+        return json.loads(resp.read())
+
+
+def wait_until(check, what: str, timeout_s: float = STEP_TIMEOUT_S):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        result = check()
+        if result:
+            return result
+        time.sleep(0.1)
+    raise TimeoutError(f"timed out waiting for {what}")
+
+
+def synthetic_lines(n: int) -> list[str]:
+    # a looped file population with co-access structure: enough for the
+    # miner to produce non-trivial correlations across every shard
+    lines = []
+    for i in range(n):
+        fid = (i * 7) % 331
+        lines.append(
+            json.dumps(
+                {
+                    "ts": i * 1000,
+                    "fid": fid,
+                    "uid": i % 13,
+                    "pid": 100 + (i % 5),
+                    "host": i % 3,
+                    "path": f"/data/f{fid}",
+                    "op": "open",
+                    "size": 0,
+                    "dev": 0,
+                }
+            )
+        )
+    return lines
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="online_smoke_"))
+    trace_path = tmp / "trace.jsonl"
+    trace_path.write_text("")  # the agent tails from byte 0
+
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--shards",
+            "4",
+            "--replicate",
+            "--sync-interval",
+            "256",
+            "--queue-capacity",
+            "4096",
+            "--batch-size",
+            "128",
+            "--tail",
+            str(trace_path),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    captured: list[str] = []
+    try:
+        # readiness: the first stdout line names the bound URL
+        line = proc.stdout.readline()
+        captured.append(line)
+        assert line.startswith("serving on "), f"no readiness line: {line!r}"
+        url = line.split()[-1]
+        assert get(url, "/health")["status"] == "ok"
+
+        # feed the trace through the tailed file, a chunk at a time plus
+        # one deliberately split line (the agent must wait for the "\n")
+        lines = synthetic_lines(N_RECORDS)
+        with open(trace_path, "a", encoding="utf-8") as fh:
+            for start in range(0, N_RECORDS, 500):
+                chunk = lines[start : start + 500]
+                fh.write("\n".join(chunk) + "\n")
+                fh.flush()
+        half = json.dumps({"ts": 0, "fid": 1, "uid": 1, "pid": 1, "host": 1})
+        with open(trace_path, "a", encoding="utf-8") as fh:
+            fh.write(half[: len(half) // 2])
+            fh.flush()
+        time.sleep(0.2)  # the partial line must NOT be parsed yet
+        with open(trace_path, "a", encoding="utf-8") as fh:
+            fh.write(half[len(half) // 2 :] + "\n")
+
+        total = N_RECORDS + 1  # the split record counts too
+        stats = wait_until(
+            lambda: (
+                lambda s: s
+                if s["service"]["n_observed"] >= total
+                else None
+            )(get(url, "/stats")),
+            f"{total} records mined",
+        )
+        assert stats["pipeline"]["n_shed"] == 0, "records shed at low load"
+        assert stats["service"]["n_shards"] == 4
+
+        # queries answer while the service keeps running
+        predicted = get(url, "/predict?fid=7&k=5")["predicted"]
+        assert isinstance(predicted, list) and predicted, predicted
+        snapshot = get(url, "/snapshot")
+        assert snapshot["n_lists"] > 0, snapshot
+        telemetry = get(url, "/telemetry")
+        assert telemetry["counters"].get("admission.accepted", 0) > 0
+        assert "queue_depth" in telemetry["series"]
+
+        # failover over the API: kill a shard, promote its standby, and
+        # the service must answer for that partition again
+        post(url, "/fail_shard", {"shard": 1})
+        promote = post(url, "/promote_standby", {"shard": 1})
+        assert promote["shard"] == 1 and promote["n_nodes_restored"] >= 0
+        stats = get(url, "/stats")
+        assert stats["service"]["n_failovers"] == 1, stats["service"]
+
+        # a full drain barrier, then clean remote shutdown
+        post(url, "/drain")
+        post(url, "/shutdown")
+        out, _ = proc.communicate(timeout=STEP_TIMEOUT_S)
+        captured.append(out)
+        assert proc.returncode == 0, f"exit {proc.returncode}"
+        assert "drained" in out and "mined" in out, out
+        print("online smoke OK:")
+        print("  " + out.strip().splitlines()[-1])
+        return 0
+    except BaseException:
+        proc.kill()
+        rest = proc.stdout.read() if proc.stdout else ""
+        print("---- server output ----")
+        print("".join(captured) + (rest or ""), file=sys.stderr)
+        raise
+
+
+if __name__ == "__main__":
+    sys.exit(main())
