@@ -343,6 +343,52 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="really sleep the replay ticks (wall-clock arrival replay)",
     )
+    serve_p.add_argument(
+        "--data-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help=(
+            "durable mode: journal accepted records to a write-ahead "
+            "log and checkpoint snapshots under DIR (created if absent); "
+            "without it the mined state is memory-only"
+        ),
+    )
+    serve_p.add_argument(
+        "--snapshot-interval",
+        type=int,
+        default=20000,
+        metavar="N",
+        help=(
+            "checkpoint every N consumed records (0 = only on demand "
+            "via POST /snapshot and at shutdown; needs --data-dir)"
+        ),
+    )
+    serve_p.add_argument(
+        "--fsync",
+        choices=("always", "interval", "never"),
+        default="interval",
+        help=(
+            "WAL fsync policy: every append, every --fsync-every "
+            "appends, or leave flushing to the OS (see docs/durability.md)"
+        ),
+    )
+    serve_p.add_argument(
+        "--fsync-every",
+        type=int,
+        default=64,
+        metavar="K",
+        help="appends between fsyncs under --fsync interval",
+    )
+    serve_p.add_argument(
+        "--recover",
+        action="store_true",
+        help=(
+            "restore from --data-dir before serving: load the latest "
+            "snapshot and replay the WAL tail (required when the data "
+            "directory already holds state)"
+        ),
+    )
     return parser
 
 
@@ -596,6 +642,7 @@ def _run_service(args: argparse.Namespace) -> int:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
+    import signal
     import threading
 
     from repro.experiments.common import farmer_config_for
@@ -624,8 +671,59 @@ def _run_serve(args: argparse.Namespace) -> int:
         echo_watermark=args.echo_watermark,
         defer_watermark=args.defer_watermark,
     )
-    online = OnlineService(config, policy=policy, batch_size=args.batch_size)
+
+    durability = None
+    service = None
+    if args.recover and args.data_dir is None:
+        print("--recover requires --data-dir", file=sys.stderr)
+        return 2
+    if args.data_dir is not None:
+        from repro.durability import DurabilityManager
+
+        durability = DurabilityManager(
+            args.data_dir, fsync=args.fsync, fsync_every=args.fsync_every
+        )
+        if args.recover:
+            service, recovery = durability.recover(config)
+            print(
+                f"recovered to seq {recovery.durable_seq} "
+                f"(snapshot {recovery.snapshot_seq} + "
+                f"{recovery.wal_replayed} WAL records replayed, "
+                f"{recovery.wal_discarded_bytes} torn bytes discarded) "
+                f"in {recovery.elapsed_s:.2f}s",
+                flush=True,
+            )
+        elif durability.has_state():
+            print(
+                f"data dir {args.data_dir} already holds state; pass "
+                f"--recover to restore it (refusing to fork the "
+                f"accepted stream)",
+                file=sys.stderr,
+            )
+            return 2
+    online = OnlineService(
+        config,
+        service=service,
+        policy=policy,
+        batch_size=args.batch_size,
+        durability=durability,
+        snapshot_interval=(
+            args.snapshot_interval if durability is not None else 0
+        ),
+    )
     api = AdminApiServer(online, host=args.host, port=args.port)
+
+    # Ctrl-C / SIGTERM land on the same clean path as POST /shutdown:
+    # stop agents, drain, final checkpoint, exit 0 — a durable service
+    # never discards its tail on an operator-initiated stop
+    def _signal_shutdown(signum, frame):
+        api.shutdown_event.set()
+
+    try:
+        signal.signal(signal.SIGINT, _signal_shutdown)
+        signal.signal(signal.SIGTERM, _signal_shutdown)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
 
     agents = []
     agent_threads = []
@@ -673,7 +771,16 @@ def _run_serve(args: argparse.Namespace) -> int:
         for thread in agent_threads:
             thread.join(timeout=10.0)
         drain = online.drain()
+        if durability is not None:
+            final = online.checkpoint()
+            print(
+                f"final snapshot at seq {final.seq} "
+                f"({final.bytes_total} bytes in {final.elapsed_s:.2f}s)",
+                flush=True,
+            )
         stats = online.stats()
+    if durability is not None:
+        durability.close()
     counters = stats.pipeline
     print(
         f"drained {drain.n_consumed} queued records in "

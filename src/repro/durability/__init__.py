@@ -1,0 +1,37 @@
+"""Durability for the online service: snapshots + write-ahead recovery.
+
+The package makes ``repro serve`` crash-consistent: accepted requests
+are journaled to a CRC-framed write-ahead log *before* they are queued
+for mining, periodic snapshots capture the sharded miner's full state
+at drain barriers, and :meth:`DurabilityManager.recover
+<repro.durability.manager.DurabilityManager.recover>` rebuilds a
+service that answers queries bit-identically to one that never crashed
+at the last durable barrier. See ``docs/durability.md`` for the file
+formats, the fsync trade-offs and the recovery semantics.
+"""
+
+from repro.durability.manager import (
+    DurabilityManager,
+    DurabilityStats,
+    RecoveryReport,
+)
+from repro.durability.snapshot import (
+    SnapshotReport,
+    latest_snapshot,
+    load_snapshot,
+    write_snapshot,
+)
+from repro.durability.wal import FSYNC_POLICIES, WalStats, WriteAheadLog
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "DurabilityManager",
+    "DurabilityStats",
+    "RecoveryReport",
+    "SnapshotReport",
+    "WalStats",
+    "WriteAheadLog",
+    "latest_snapshot",
+    "load_snapshot",
+    "write_snapshot",
+]

@@ -1,0 +1,284 @@
+"""The durability manager: one data directory, one recovery story.
+
+:class:`DurabilityManager` owns a data directory laid out as::
+
+    <data_dir>/wal/        segmented write-ahead log (wal-<seq>.log)
+    <data_dir>/snapshots/  sealed snapshots (snap-<seq>/), newest wins
+
+and exposes the three verbs the online service needs:
+
+* :meth:`log_accepted` — journal one admitted record (called by the
+  ingest pipeline *before* the record is enqueued, so mined state is
+  always a prefix of the log);
+* :meth:`checkpoint` — write a snapshot at a drain barrier, rotate the
+  WAL at the barrier sequence, prune segments and old snapshots the
+  barrier covers;
+* :meth:`recover` — load the latest valid snapshot (or start empty),
+  verify its manifest against the booting config, replay the WAL tail
+  through :meth:`ShardedFarmer.ingest_stream
+  <repro.service.sharded.ShardedFarmer.ingest_stream>`, and hand back
+  a service that answers queries bit-identically to one that never
+  crashed (property-tested in ``tests/durability``).
+
+``base_consumed`` bridges the restart: the restored service's
+accepted-stream position is ``snapshot seq + records replayed``, and
+every subsequent barrier sequence is ``base_consumed + the pipeline's
+consumed count``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.config import FarmerConfig
+from repro.durability.snapshot import (
+    SnapshotReport,
+    latest_snapshot,
+    load_snapshot,
+    read_manifest,
+    snapshot_seq,
+    verify_config,
+    write_snapshot,
+)
+from repro.durability.wal import WalStats, WriteAheadLog
+from repro.errors import PersistenceError
+from repro.service.sharded import ShardedFarmer
+
+__all__ = ["DurabilityManager", "DurabilityStats", "RecoveryReport"]
+
+_REPLAY_CHUNK = 1024
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryReport:
+    """What one :meth:`DurabilityManager.recover` call reconstructed.
+
+    Attributes:
+        snapshot_seq: accepted-stream position of the restored snapshot
+            (0 when no snapshot existed and recovery started empty).
+        snapshot_path: the restored snapshot directory (None if empty).
+        wal_replayed: WAL records replayed on top of the snapshot.
+        wal_discarded_bytes: torn-tail bytes truncated at WAL open (the
+            record being appended when the process died).
+        durable_seq: accepted-stream position after replay — the barrier
+            the recovered service is bit-identical to.
+        elapsed_s: wall-clock recovery cost (load + replay).
+    """
+
+    snapshot_seq: int
+    snapshot_path: str | None
+    wal_replayed: int
+    wal_discarded_bytes: int
+    durable_seq: int
+    elapsed_s: float
+
+
+@dataclass(frozen=True, slots=True)
+class DurabilityStats:
+    """Operational rollup served inside ``/stats`` under ``durability``.
+
+    Attributes:
+        data_dir: the managed data directory.
+        wal: live WAL counters (appends, fsyncs, segments, torn bytes).
+        n_snapshots: checkpoints written by this process.
+        last_snapshot_seq: accepted-stream position of the newest
+            snapshot barrier (0 before the first).
+        snapshot_bytes: bytes written by the newest checkpoint.
+        snapshot_elapsed_s: write cost of the newest checkpoint.
+        recovery: how this process booted (None for a fresh start
+            without ``recover()``).
+    """
+
+    data_dir: str
+    wal: WalStats
+    n_snapshots: int
+    last_snapshot_seq: int
+    snapshot_bytes: int
+    snapshot_elapsed_s: float
+    recovery: RecoveryReport | None = field(default=None)
+
+
+class DurabilityManager:
+    """Snapshots + WAL over one data directory (see module docstring).
+
+    ``snapshot_keep`` bounds disk growth: after a checkpoint seals, all
+    but the newest ``snapshot_keep`` snapshots are deleted along with
+    every WAL segment the newest barrier covers.
+    """
+
+    def __init__(
+        self,
+        data_dir: str | Path,
+        *,
+        fsync: str = "interval",
+        fsync_every: int = 64,
+        snapshot_keep: int = 2,
+        telemetry=None,
+    ) -> None:
+        if snapshot_keep <= 0:
+            raise PersistenceError(
+                "DurabilityManager needs snapshot_keep > 0"
+            )
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.snapshot_dir = self.data_dir / "snapshots"
+        self.snapshot_dir.mkdir(exist_ok=True)
+        self.wal = WriteAheadLog(
+            self.data_dir / "wal", fsync=fsync, fsync_every=fsync_every
+        )
+        self.snapshot_keep = snapshot_keep
+        self.telemetry = telemetry
+        self.base_consumed = 0
+        self.n_snapshots = 0
+        self.last_snapshot_bytes = 0
+        self.last_snapshot_elapsed_s = 0.0
+        self.recovery: RecoveryReport | None = None
+        newest = latest_snapshot(self.snapshot_dir)
+        self.last_snapshot_seq = (
+            snapshot_seq(newest) if newest is not None else 0
+        )
+
+    def has_state(self) -> bool:
+        """Whether the data directory holds any prior state (used by
+        the CLI to refuse a non-``--recover`` boot over existing data,
+        which would silently fork the accepted stream)."""
+        return (
+            self.wal.next_seq > 0
+            or latest_snapshot(self.snapshot_dir) is not None
+        )
+
+    # -- journal -------------------------------------------------------
+
+    def log_accepted(self, record, allow_echo: bool) -> int:
+        """Journal one admitted record; returns its sequence number."""
+        start = time.perf_counter()
+        seq = self.wal.append(record, allow_echo)
+        if self.telemetry is not None:
+            self.telemetry.observe_latency(
+                "wal_append", time.perf_counter() - start
+            )
+            self.telemetry.incr("wal.appends")
+        return seq
+
+    # -- checkpoint ----------------------------------------------------
+
+    def checkpoint(self, service: ShardedFarmer, seq: int) -> SnapshotReport:
+        """Snapshot ``service`` as of accepted sequence ``seq``, then
+        rotate the WAL at the barrier and prune what the barrier covers.
+
+        The caller holds the service quiescent at ``seq`` (the online
+        layer drains under its serial lock first).
+        """
+        report = write_snapshot(self.snapshot_dir, service, seq)
+        if not report.unchanged:
+            self.n_snapshots += 1
+            self.last_snapshot_bytes = report.bytes_total
+            self.last_snapshot_elapsed_s = report.elapsed_s
+            self.last_snapshot_seq = seq
+            self.wal.rotate()
+            retained = self._prune_snapshots()
+            # keep WAL segments back to the OLDEST retained snapshot:
+            # if the newest turns out damaged, recovery falls back to
+            # the previous barrier and still finds its tail on disk
+            self.wal.prune(snapshot_seq(retained[0]))
+            if self.telemetry is not None:
+                self.telemetry.incr("snapshot.count")
+                self.telemetry.incr("snapshot.bytes", report.bytes_total)
+                self.telemetry.observe_latency("snapshot", report.elapsed_s)
+        return report
+
+    def _prune_snapshots(self) -> list[Path]:
+        """Delete all but the newest ``snapshot_keep`` snapshots;
+        returns the retained directories, oldest first."""
+        sealed = sorted(
+            (
+                path
+                for path in self.snapshot_dir.iterdir()
+                if path.is_dir()
+                and path.name.startswith("snap-")
+                and not path.name.endswith(".tmp")
+            ),
+            key=snapshot_seq,
+        )
+        for stale in sealed[: -self.snapshot_keep]:
+            shutil.rmtree(stale, ignore_errors=True)
+        return sealed[-self.snapshot_keep :]
+
+    # -- recovery ------------------------------------------------------
+
+    def recover(
+        self, config: FarmerConfig
+    ) -> tuple[ShardedFarmer, RecoveryReport]:
+        """Reconstruct the service at its last durable barrier.
+
+        Loads the newest valid snapshot (verifying its manifest against
+        ``config`` — a mismatch raises :class:`~repro.errors.
+        SnapshotMismatchError` naming the differing fields), then
+        replays the WAL tail in chunks through the ordinary ingest
+        seam. With no snapshot, the entire log replays into a fresh
+        service. Sets :attr:`base_consumed` to the durable sequence so
+        subsequent barriers continue the accepted-stream numbering.
+        """
+        start = time.perf_counter()
+        newest = latest_snapshot(self.snapshot_dir)
+        if newest is not None:
+            manifest = read_manifest(newest)
+            verify_config(manifest, config)
+            service = load_snapshot(newest)
+            from_seq = manifest["seq"]
+        else:
+            service = ShardedFarmer(config)
+            from_seq = 0
+        replayed = 0
+        chunk: list[tuple] = []
+        for _seq, record, allow_echo in self.wal.replay(from_seq):
+            chunk.append((record, allow_echo))
+            if len(chunk) >= _REPLAY_CHUNK:
+                service.ingest_stream(chunk)
+                replayed += len(chunk)
+                chunk = []
+                if self.telemetry is not None:
+                    self.telemetry.incr("recovery.replayed", _REPLAY_CHUNK)
+        if chunk:
+            service.ingest_stream(chunk)
+            replayed += len(chunk)
+            if self.telemetry is not None:
+                self.telemetry.incr("recovery.replayed", len(chunk))
+        durable_seq = from_seq + replayed
+        if durable_seq != self.wal.next_seq:
+            raise PersistenceError(
+                f"recovery replayed to seq {durable_seq} but the WAL "
+                f"ends at {self.wal.next_seq} — snapshot and log "
+                f"disagree; the data directory is inconsistent"
+            )
+        self.base_consumed = durable_seq
+        self.recovery = RecoveryReport(
+            snapshot_seq=from_seq,
+            snapshot_path=str(newest) if newest is not None else None,
+            wal_replayed=replayed,
+            wal_discarded_bytes=self.wal.discarded_bytes,
+            durable_seq=durable_seq,
+            elapsed_s=time.perf_counter() - start,
+        )
+        return service, self.recovery
+
+    # -- stats ---------------------------------------------------------
+
+    def stats(self) -> DurabilityStats:
+        """Operational rollup (see :class:`DurabilityStats`)."""
+        return DurabilityStats(
+            data_dir=str(self.data_dir),
+            wal=self.wal.stats(),
+            n_snapshots=self.n_snapshots,
+            last_snapshot_seq=self.last_snapshot_seq,
+            snapshot_bytes=self.last_snapshot_bytes,
+            snapshot_elapsed_s=self.last_snapshot_elapsed_s,
+            recovery=self.recovery,
+        )
+
+    def close(self) -> None:
+        """Flush and close the WAL."""
+        self.wal.close()

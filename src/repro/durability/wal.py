@@ -1,0 +1,345 @@
+"""Append-only write-ahead log of accepted ingest requests.
+
+The WAL sits *behind* admission control: :meth:`IngestPipeline.offer
+<repro.online.pipeline.IngestPipeline.offer>` journals a record the
+moment it is accepted — before it is enqueued for the consumer — so at
+every instant the mined state of the service is a prefix of the log.
+That single ordering rule is what makes a SIGKILL recoverable: replaying
+the log tail from the last snapshot barrier through
+:meth:`ShardedFarmer.ingest_stream
+<repro.service.sharded.ShardedFarmer.ingest_stream>` re-mines exactly
+the accepted stream, in the accepted order, with the accepted
+``allow_echo`` flags.
+
+On-disk format
+--------------
+
+A log is a directory of **segments** named ``wal-<seq>.log`` where
+``<seq>`` is the sequence number of the segment's first record.
+Each record is one CRC-framed entry::
+
+    [u32 payload length][u32 crc32(payload)][payload bytes]
+
+with the payload the compact JSON ``[allow_echo, record-dict]`` (the
+same dict :func:`repro.traces.io.record_to_dict` writes to JSONL trace
+files). Length-prefixed framing means a torn write — the process died
+mid-``append`` — is detectable as a short or CRC-failing frame at the
+physical end of the last segment; :class:`WriteAheadLog` truncates it
+at open and reports the discarded byte count. A bad frame anywhere
+*else* (valid data follows it) is real corruption and raises
+:class:`~repro.errors.WalCorruptError` — replay must never silently
+skip accepted records.
+
+Fsync policy
+------------
+
+``fsync="always"`` fsyncs every append (no accepted record is ever
+lost, at a per-record fsync cost); ``"interval"`` fsyncs every
+``fsync_every`` appends (bounded loss window, near-batch throughput);
+``"never"`` leaves flushing to the OS (contents survive a process kill
+— the buffers are flushed to the page cache on every append — but not a
+host power loss). ``docs/durability.md`` quantifies the trade.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import ConfigError, WalCorruptError
+from repro.traces.io import record_from_dict, record_to_dict
+from repro.traces.record import TraceRecord
+
+__all__ = ["FSYNC_POLICIES", "WalStats", "WriteAheadLog"]
+
+FSYNC_POLICIES = ("always", "interval", "never")
+
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".log"
+
+
+def _segment_name(seq: int) -> str:
+    return f"{_SEGMENT_PREFIX}{seq:012d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_base(path: Path) -> int:
+    return int(path.name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)])
+
+
+def _encode(record: TraceRecord, allow_echo: bool) -> bytes:
+    payload = json.dumps(
+        [1 if allow_echo else 0, record_to_dict(record)],
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _scan_segment(path: Path) -> tuple[int, int, int]:
+    """Walk one segment's frames.
+
+    Returns ``(n_records, valid_bytes, total_bytes)`` — a torn or
+    corrupt tail shows up as ``valid_bytes < total_bytes`` (the caller
+    decides whether that is an expected torn write or real corruption).
+    """
+    data = path.read_bytes()
+    offset = 0
+    n_records = 0
+    while offset + _FRAME.size <= len(data):
+        length, crc = _FRAME.unpack_from(data, offset)
+        end = offset + _FRAME.size + length
+        if end > len(data):
+            break  # short frame: the payload was cut off
+        payload = data[offset + _FRAME.size : end]
+        if zlib.crc32(payload) != crc:
+            break  # torn payload bytes
+        offset = end
+        n_records += 1
+    return n_records, offset, len(data)
+
+
+@dataclass(frozen=True, slots=True)
+class WalStats:
+    """Operational accounting of one :class:`WriteAheadLog`.
+
+    Attributes:
+        next_seq: sequence number the next accepted record will get
+            (equals the count of records ever logged, across rotations).
+        n_segments: segment files currently on disk.
+        n_appends: records appended by *this* process (excludes records
+            recovered from disk at open).
+        bytes_written: frame bytes appended by this process.
+        n_fsyncs: fsync calls issued by this process.
+        discarded_bytes: torn-tail bytes truncated when the log was
+            opened (0 after a clean shutdown).
+        fsync: the configured fsync policy.
+    """
+
+    next_seq: int
+    n_segments: int
+    n_appends: int
+    bytes_written: int
+    n_fsyncs: int
+    discarded_bytes: int
+    fsync: str
+
+
+class WriteAheadLog:
+    """CRC-framed segmented log of ``(record, allow_echo)`` entries.
+
+    Opening a directory scans every segment in order, truncates a torn
+    tail on the *last* segment (counting the discarded bytes), and
+    refuses mid-log corruption with :class:`~repro.errors.
+    WalCorruptError`. Appends are thread-safe; :meth:`rotate` (called at
+    snapshot barriers) seals the active segment so :meth:`prune` can
+    delete segments wholly covered by a snapshot.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        fsync: str = "interval",
+        fsync_every: int = 64,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ConfigError(
+                f"WriteAheadLog fsync policy must be one of "
+                f"{FSYNC_POLICIES}, got {fsync!r}"
+            )
+        if fsync_every <= 0:
+            raise ConfigError("WriteAheadLog needs fsync_every > 0")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.fsync_every = fsync_every
+        self._lock = threading.Lock()
+        self._n_appends = 0
+        self._bytes_written = 0
+        self._n_fsyncs = 0
+        self._since_fsync = 0
+        self.discarded_bytes = 0
+        self._segments = self._recover_segments()
+        base = self._segments[-1] if self._segments else 0
+        n_records, _, _ = (
+            _scan_segment(self._segment_path(base)) if self._segments else (0, 0, 0)
+        )
+        self._next_seq = base + n_records
+        self._active = open(  # noqa: SIM115 - held for the log's lifetime
+            self._segment_path(base)
+            if self._segments
+            else self._start_segment(base),
+            "ab",
+        )
+
+    # -- open-time recovery --------------------------------------------
+
+    def _segment_path(self, base: int) -> Path:
+        return self.directory / _segment_name(base)
+
+    def _start_segment(self, base: int) -> Path:
+        path = self._segment_path(base)
+        path.touch()
+        self._segments.append(base)
+        return path
+
+    def _recover_segments(self) -> list[int]:
+        bases = sorted(
+            _segment_base(path)
+            for path in self.directory.glob(
+                f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"
+            )
+        )
+        for position, base in enumerate(bases):
+            path = self._segment_path(base)
+            n_records, valid, total = _scan_segment(path)
+            is_last = position == len(bases) - 1
+            if valid < total:
+                if not is_last:
+                    raise WalCorruptError(
+                        f"WAL segment {path.name} is corrupt at byte "
+                        f"{valid} but later segments exist — records "
+                        f"would be lost mid-log; refusing to open"
+                    )
+                # torn tail of the final segment: the append in flight
+                # when the process died — truncate to the last complete
+                # record and account for what was cut
+                with open(path, "ab") as fh:
+                    fh.truncate(valid)
+                self.discarded_bytes = total - valid
+            if not is_last and bases[position + 1] != base + n_records:
+                raise WalCorruptError(
+                    f"WAL segment {path.name} holds {n_records} records "
+                    f"but the next segment starts at seq "
+                    f"{bases[position + 1]} — a segment is missing or "
+                    f"truncated; refusing to open"
+                )
+        return bases
+
+    # -- producer side -------------------------------------------------
+
+    def append(self, record: TraceRecord, allow_echo: bool) -> int:
+        """Durably journal one accepted record; returns its sequence
+        number (0-based position in the accepted stream)."""
+        frame = _encode(record, allow_echo)
+        with self._lock:
+            seq = self._next_seq
+            self._active.write(frame)
+            self._active.flush()
+            self._n_appends += 1
+            self._bytes_written += len(frame)
+            self._since_fsync += 1
+            if self.fsync == "always" or (
+                self.fsync == "interval"
+                and self._since_fsync >= self.fsync_every
+            ):
+                os.fsync(self._active.fileno())
+                self._n_fsyncs += 1
+                self._since_fsync = 0
+            self._next_seq = seq + 1
+        return seq
+
+    def sync(self) -> None:
+        """Force an fsync of the active segment (barrier seam)."""
+        with self._lock:
+            self._active.flush()
+            os.fsync(self._active.fileno())
+            self._n_fsyncs += 1
+            self._since_fsync = 0
+
+    def rotate(self) -> int:
+        """Seal the active segment and start a fresh one at the current
+        sequence number (snapshot barriers call this so :meth:`prune`
+        can later delete everything the snapshot covers). Returns the
+        new segment's base sequence number."""
+        with self._lock:
+            self._active.flush()
+            os.fsync(self._active.fileno())
+            self._n_fsyncs += 1
+            self._since_fsync = 0
+            self._active.close()
+            base = self._next_seq
+            if self._segments and self._segments[-1] == base:
+                # the active segment is still empty; keep it
+                self._active = open(self._segment_path(base), "ab")
+                return base
+            self._active = open(self._start_segment(base), "ab")
+            return base
+
+    def prune(self, upto_seq: int) -> int:
+        """Delete sealed segments whose records all precede ``upto_seq``
+        (i.e. are covered by a snapshot). Returns segments deleted."""
+        removed = 0
+        with self._lock:
+            while len(self._segments) > 1:
+                base, next_base = self._segments[0], self._segments[1]
+                if next_base > upto_seq:
+                    break
+                self._segment_path(base).unlink()
+                self._segments.pop(0)
+                removed += 1
+        return removed
+
+    def close(self) -> None:
+        """Flush, fsync and close the active segment."""
+        with self._lock:
+            if not self._active.closed:
+                self._active.flush()
+                os.fsync(self._active.fileno())
+                self._active.close()
+
+    # -- consumer side -------------------------------------------------
+
+    def replay(
+        self, from_seq: int = 0
+    ) -> Iterator[tuple[int, TraceRecord, bool]]:
+        """Yield ``(seq, record, allow_echo)`` for every logged record
+        with ``seq >= from_seq``, in append order."""
+        with self._lock:
+            self._active.flush()
+            segments = list(self._segments)
+        for base in segments:
+            path = self._segment_path(base)
+            data = path.read_bytes()
+            offset = 0
+            seq = base
+            while offset + _FRAME.size <= len(data):
+                length, crc = _FRAME.unpack_from(data, offset)
+                end = offset + _FRAME.size + length
+                if end > len(data):
+                    break  # unflushed/torn tail of the live segment
+                payload = data[offset + _FRAME.size : end]
+                if zlib.crc32(payload) != crc:
+                    break
+                if seq >= from_seq:
+                    allow_echo, record_dict = json.loads(
+                        payload.decode("utf-8")
+                    )
+                    yield seq, record_from_dict(record_dict), bool(allow_echo)
+                offset = end
+                seq += 1
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next append will get."""
+        with self._lock:
+            return self._next_seq
+
+    def stats(self) -> WalStats:
+        """Operational counters (see :class:`WalStats`)."""
+        with self._lock:
+            return WalStats(
+                next_seq=self._next_seq,
+                n_segments=len(self._segments),
+                n_appends=self._n_appends,
+                bytes_written=self._bytes_written,
+                n_fsyncs=self._n_fsyncs,
+                discarded_bytes=self.discarded_bytes,
+                fsync=self.fsync,
+            )

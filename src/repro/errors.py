@@ -74,5 +74,35 @@ class ShardFailedError(ReproError):
         self.shard = shard
 
 
+class PersistenceError(ReproError):
+    """Base class for durability failures (snapshots and the WAL).
+
+    Everything the :mod:`repro.durability` layer refuses — corrupt
+    files, mismatched manifests, misused recovery entry points — derives
+    from this class, so a serving layer can treat "the disk state is not
+    usable" as one failure class while still discriminating below.
+    """
+
+
+class WalCorruptError(PersistenceError):
+    """The write-ahead log is damaged somewhere other than its tail.
+
+    A torn *tail* (the record being appended when the process died) is
+    expected and silently truncated at open; a bad CRC or frame in the
+    *middle* of the log — with intact records after it — means records
+    would be silently skipped on replay, so recovery refuses instead.
+    """
+
+
+class SnapshotMismatchError(PersistenceError):
+    """A snapshot manifest disagrees with the booting configuration.
+
+    Restoring a snapshot into a service with a different shard count,
+    router or kernel would serve answers from a topology that never
+    existed; recovery refuses and names the differing fields so the
+    operator can boot with the matching flags (or discard the data dir).
+    """
+
+
 class UnknownExperimentError(ReproError):
     """An experiment id was requested that the registry does not know."""

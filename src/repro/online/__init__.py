@@ -23,6 +23,10 @@ still arriving". Four pieces, one per module:
   (per-endpoint p50/p95/p99), all bounded-memory and numpy-free.
 
 ``repro serve`` in the CLI wires the four together into a process.
+With ``--data-dir`` the service additionally journals accepted records
+and checkpoints snapshots through :mod:`repro.durability`, making a
+``--recover`` cold restart bit-identical to never having crashed at the
+last durable barrier.
 """
 
 from __future__ import annotations

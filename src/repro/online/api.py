@@ -21,7 +21,14 @@ Endpoints (all JSON)::
     POST /rebalance                   {"n_shards"?, "policy"?, "weights"?}
     POST /auto_rebalance              {}
     POST /drain                       full consume+flush barrier
+    POST /snapshot                    durable checkpoint (needs --data-dir)
     POST /shutdown                    stop serving (clean exit seam)
+
+``GET /snapshot`` (the Correlator-List aggregate) and ``POST
+/snapshot`` (the durability checkpoint) share a path but not a
+meaning — the GET is a query, the POST is a barrier. When the service
+runs with a data directory, ``GET /stats`` carries the WAL/snapshot/
+recovery rollup under ``durability``.
 
 Error mapping: bad arguments → 400; unknown path → 404; an operation
 the service refuses (failed shard, replication disabled, bad config)
@@ -36,7 +43,12 @@ from dataclasses import asdict, is_dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
-from repro.errors import ConfigError, ReplicationError, ShardFailedError
+from repro.errors import (
+    ConfigError,
+    PersistenceError,
+    ReplicationError,
+    ShardFailedError,
+)
 from repro.online.pipeline import OnlineService
 from repro.traces.io import record_from_dict
 
@@ -171,7 +183,12 @@ class AdminApiServer:
                     self._send(200, fn())
                 except _ApiError as exc:
                     self._send(exc.status, {"error": str(exc)})
-                except (ConfigError, ReplicationError, ShardFailedError) as exc:
+                except (
+                    ConfigError,
+                    PersistenceError,
+                    ReplicationError,
+                    ShardFailedError,
+                ) as exc:
                     # the service refused: a client problem, not a crash
                     self._send(409, {"error": str(exc)})
 
@@ -286,6 +303,8 @@ class AdminApiServer:
                     self._dispatch(lambda: _jsonable(online.auto_rebalance()))
                 elif url.path == "/drain":
                     self._dispatch(lambda: _jsonable(online.drain()))
+                elif url.path == "/snapshot":
+                    self._dispatch(lambda: _jsonable(online.checkpoint()))
                 elif url.path == "/shutdown":
                     self._dispatch(lambda: {"shutting_down": True})
                     server.shutdown_event.set()

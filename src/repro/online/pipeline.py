@@ -47,10 +47,12 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Callable, Protocol
 
 from repro.core.config import FarmerConfig
 from repro.core.sorter import CorrelationSnapshot
+from repro.durability.manager import DurabilityManager, DurabilityStats
+from repro.durability.snapshot import SnapshotReport
 from repro.errors import ConfigError
 from repro.online.telemetry import LatencySummary, Telemetry
 from repro.service.sharded import (
@@ -171,12 +173,19 @@ class IngestPipeline:
         *,
         batch_size: int = 256,
         telemetry: Telemetry | None = None,
+        journal: Callable[[TraceRecord, bool], int] | None = None,
     ) -> None:
         if batch_size <= 0:
             raise ConfigError("IngestPipeline needs batch_size > 0")
         self.policy = policy if policy is not None else AdmissionPolicy()
         self.batch_size = batch_size
         self.telemetry = telemetry
+        # write-ahead hook: called with (record, allow_echo) for every
+        # *accepted* record, under the pipeline lock, BEFORE the record
+        # is enqueued — the mined state is therefore always a prefix of
+        # the journal, so a crash at any point replays every record that
+        # was acknowledged as accepted and nothing that was not
+        self.journal = journal
         self._queue: deque[tuple[TraceRecord, bool]] = deque()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
@@ -205,6 +214,8 @@ class IngestPipeline:
                 result = Admission.DEFERRED
             else:
                 allow_echo = depth < policy.echo_depth
+                if self.journal is not None:
+                    self.journal(record, allow_echo)
                 self._queue.append((record, allow_echo))
                 self._n_accepted += 1
                 if not allow_echo:
@@ -267,6 +278,8 @@ class OnlineStats:
         endpoint_latency: per-endpoint latency summaries (p50/p95/p99
             from the fixed-bucket histograms).
         uptime_s: seconds since the service started.
+        durability: WAL/snapshot/recovery rollup when the service runs
+            with a data directory (None on a memory-only service).
     """
 
     service: ServiceStats
@@ -274,6 +287,7 @@ class OnlineStats:
     pipeline: PipelineCounters
     endpoint_latency: dict[str, LatencySummary]
     uptime_s: float = 0.0
+    durability: DurabilityStats | None = None
 
 
 class OnlineService:
@@ -307,15 +321,33 @@ class OnlineService:
         batch_size: int = 256,
         telemetry: Telemetry | None = None,
         load_sample_every: int = 4,
+        durability: DurabilityManager | None = None,
+        snapshot_interval: int = 0,
     ) -> None:
         if load_sample_every <= 0:
             raise ConfigError("OnlineService needs load_sample_every > 0")
+        if snapshot_interval < 0:
+            raise ConfigError("OnlineService needs snapshot_interval >= 0")
+        if snapshot_interval > 0 and durability is None:
+            raise ConfigError(
+                "snapshot_interval needs a durability manager (the "
+                "interval schedules checkpoints into its data directory)"
+            )
         self.service = (
             service if service is not None else ShardedFarmer(config)
         )
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.durability = durability
+        self.snapshot_interval = snapshot_interval
+        if durability is not None and durability.telemetry is None:
+            durability.telemetry = self.telemetry
         self.pipeline = IngestPipeline(
-            policy, batch_size=batch_size, telemetry=self.telemetry
+            policy,
+            batch_size=batch_size,
+            telemetry=self.telemetry,
+            journal=(
+                durability.log_accepted if durability is not None else None
+            ),
         )
         self.load_sample_every = load_sample_every
         # one coarse RLock serialises every touch of the sharded miner:
@@ -405,6 +437,61 @@ class OnlineService:
                 batch = self.pipeline.pop_batch(timeout_s=0.05)
                 if batch:
                     self._consume_batch(batch)
+            durability = self.durability
+            if (
+                durability is not None
+                and self.snapshot_interval > 0
+                and self.consumed_seq - durability.last_snapshot_seq
+                >= self.snapshot_interval
+            ):
+                self.checkpoint()
+
+    # -- durability ----------------------------------------------------
+
+    @property
+    def consumed_seq(self) -> int:
+        """The service's position in the accepted stream: records mined
+        before any crash (durable base) plus records consumed since."""
+        base = (
+            self.durability.base_consumed
+            if self.durability is not None
+            else 0
+        )
+        return base + self.pipeline.counters().n_consumed
+
+    def checkpoint(self) -> SnapshotReport:
+        """Write a durable snapshot at a full drain barrier.
+
+        Rides the same serial-lock story as :meth:`drain`: everything
+        queued is consumed, pending boundary echoes are flushed, and the
+        snapshot captures the service at an exact accepted-stream
+        sequence — offers landing after the barrier go to the WAL tail
+        the snapshot's rotation starts. Ranking stays lazy (the snapshot
+        is a faithful state capture, not a rank), so a restore never
+        diverges from the lazy schedule.
+        """
+        durability = self.durability
+        if durability is None:
+            raise ConfigError(
+                "checkpoint() needs a durability manager — construct "
+                "OnlineService(durability=...) or serve with --data-dir"
+            )
+        start = time.perf_counter()
+        with self._ingest_serial:
+            while True:
+                batch = self.pipeline.pop_batch(timeout_s=None)
+                if not batch:
+                    break
+                self._consume_batch(batch)
+            with self._service_lock:
+                self.service.flush_echoes()
+                report = durability.checkpoint(
+                    self.service, self.consumed_seq
+                )
+        self.telemetry.observe_latency(
+            "checkpoint", time.perf_counter() - start
+        )
+        return report
 
     def drain(self) -> DrainReport:
         """The full barrier: consume everything queued and deliver every
@@ -482,6 +569,11 @@ class OnlineService:
             pipeline=self.pipeline.counters(),
             endpoint_latency=self.telemetry.endpoint_summaries(),
             uptime_s=time.perf_counter() - self._started_at,
+            durability=(
+                self.durability.stats()
+                if self.durability is not None
+                else None
+            ),
         )
 
     # -- admin (timed per endpoint) ------------------------------------

@@ -20,6 +20,12 @@ hot path:
 :class:`Telemetry` aggregates both behind one lock: named counters,
 named series, per-endpoint histograms, and a JSON-safe :meth:`snapshot`
 the admin API serves at ``/telemetry``.
+
+A durable service (``--data-dir``) additionally reports through the
+same registry: ``wal.appends`` / ``snapshot.count`` / ``snapshot.bytes``
+/ ``recovery.replayed`` counters, and ``wal_append`` / ``snapshot`` /
+``checkpoint`` latency histograms (the snapshot histogram is the ingest
+stall window a barrier costs).
 """
 
 from __future__ import annotations

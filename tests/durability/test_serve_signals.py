@@ -1,0 +1,94 @@
+"""``repro serve`` signal handling: SIGINT/SIGTERM stop agents, drain,
+take a final snapshot and exit 0 (ISSUE 8 satellite) — an operator
+Ctrl-C on a durable service must never discard the accepted tail."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def start_serve(tmp_path, *extra):
+    env = dict(os.environ, PYTHONPATH=os.path.abspath(REPO_SRC))
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--shards",
+            "2",
+            "--data-dir",
+            str(tmp_path / "data"),
+            "--replay-events",
+            "800",
+            "--rate",
+            "1e9",
+            *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    # wait for the readiness line so the signal lands on a live service
+    deadline = time.monotonic() + 60.0
+    lines = []
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        lines.append(line)
+        if line.startswith("serving on "):
+            return proc, lines
+    proc.kill()
+    pytest.fail(f"serve never became ready: {''.join(lines)}")
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_signal_drains_snapshots_and_exits_zero(tmp_path, signum):
+    proc, lines = start_serve(tmp_path)
+    time.sleep(1.0)  # let the replay agent offer its records
+    proc.send_signal(signum)
+    out, _ = proc.communicate(timeout=60.0)
+    output = "".join(lines) + out
+    assert proc.returncode == 0, output
+    assert "final snapshot at seq" in output, output
+    assert "drained" in output, output
+    snapshots = list((tmp_path / "data" / "snapshots").glob("snap-*"))
+    assert snapshots, output
+
+
+def test_boot_over_existing_state_requires_recover(tmp_path):
+    proc, _ = start_serve(tmp_path)
+    time.sleep(0.5)
+    proc.send_signal(signal.SIGTERM)
+    out, _ = proc.communicate(timeout=60.0)
+    assert proc.returncode == 0, out
+    # a second boot over the same data dir without --recover must refuse
+    env = dict(os.environ, PYTHONPATH=os.path.abspath(REPO_SRC))
+    refused = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--data-dir",
+            str(tmp_path / "data"),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=60.0,
+        env=env,
+    )
+    assert refused.returncode == 2
+    assert "--recover" in refused.stderr

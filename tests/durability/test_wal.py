@@ -1,0 +1,177 @@
+"""WAL unit coverage: CRC framing, rotation, pruning, torn-tail
+recovery at every byte boundary of the last record (ISSUE 8 satellite).
+
+Numpy-free by design (hand-built records only) so the no-numpy CI leg
+covers the journal format too.
+"""
+
+import shutil
+
+import pytest
+
+from repro.durability.wal import WriteAheadLog
+from repro.errors import ConfigError, WalCorruptError
+from tests.conftest import make_record
+
+
+def fill(log, n, start=0):
+    for i in range(n):
+        log.append(make_record(100 + start + i, ts=(start + i) * 1000), True)
+
+
+def replayed(directory, from_seq=0):
+    log = WriteAheadLog(directory)
+    try:
+        return list(log.replay(from_seq))
+    finally:
+        log.close()
+
+
+class TestFraming:
+    def test_round_trip_preserves_records_and_flags(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        records = [make_record(fid, ts=i * 1000) for i, fid in enumerate([7, 3, 7, 9])]
+        flags = [True, False, True, False]
+        for record, flag in zip(records, flags):
+            log.append(record, flag)
+        log.close()
+        entries = replayed(tmp_path)
+        assert [seq for seq, _, _ in entries] == [0, 1, 2, 3]
+        assert [record for _, record, _ in entries] == records
+        assert [flag for _, _, flag in entries] == flags
+
+    def test_sequence_numbers_survive_reopen(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        fill(log, 5)
+        log.close()
+        log = WriteAheadLog(tmp_path)
+        assert log.next_seq == 5
+        assert log.append(make_record(1), True) == 5
+        log.close()
+
+    def test_replay_from_seq_skips_prefix(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        fill(log, 10)
+        log.close()
+        assert [seq for seq, _, _ in replayed(tmp_path, from_seq=7)] == [7, 8, 9]
+
+    def test_invalid_fsync_policy_refused(self, tmp_path):
+        with pytest.raises(ConfigError):
+            WriteAheadLog(tmp_path, fsync="sometimes")
+        with pytest.raises(ConfigError):
+            WriteAheadLog(tmp_path, fsync_every=0)
+
+    def test_fsync_policy_cadence(self, tmp_path):
+        always = WriteAheadLog(tmp_path / "a", fsync="always")
+        fill(always, 5)
+        assert always.stats().n_fsyncs == 5
+        always.close()
+        never = WriteAheadLog(tmp_path / "n", fsync="never")
+        fill(never, 5)
+        assert never.stats().n_fsyncs == 0
+        never.close()
+        interval = WriteAheadLog(tmp_path / "i", fsync="interval", fsync_every=2)
+        fill(interval, 5)
+        assert interval.stats().n_fsyncs == 2
+        interval.close()
+
+
+class TestRotationAndPrune:
+    def test_rotate_seals_segments_and_replay_spans_them(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        fill(log, 4)
+        assert log.rotate() == 4
+        fill(log, 3, start=4)
+        assert log.stats().n_segments == 2
+        log.close()
+        assert [seq for seq, _, _ in replayed(tmp_path)] == list(range(7))
+
+    def test_rotate_on_empty_segment_is_idempotent(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        fill(log, 2)
+        assert log.rotate() == 2
+        assert log.rotate() == 2  # nothing appended in between
+        assert log.stats().n_segments == 2
+        log.close()
+
+    def test_prune_deletes_only_covered_segments(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        fill(log, 4)
+        log.rotate()
+        fill(log, 4, start=4)
+        log.rotate()
+        fill(log, 2, start=8)
+        assert log.stats().n_segments == 3
+        assert log.prune(4) == 1  # only [0, 4) is covered
+        assert log.prune(8) == 1
+        assert log.prune(10**9) == 0  # the active segment is never pruned
+        assert [seq for seq, _, _ in log.replay(0)] == list(range(8, 10))
+        log.close()
+
+
+class TestTornTail:
+    def test_truncation_at_every_byte_of_the_last_record(self, tmp_path):
+        """The satellite property: cut the log anywhere inside the last
+        record — header bytes included — and recovery lands on the last
+        complete record, reporting exactly the discarded byte count."""
+        source = tmp_path / "source"
+        log = WriteAheadLog(source)
+        fill(log, 7)
+        last_start = next(source.glob("wal-*.log")).stat().st_size
+        fill(log, 1, start=7)  # the record every cut below tears
+        log.close()
+        segment = next(source.glob("wal-*.log"))
+        data = segment.read_bytes()
+        assert 0 < last_start < len(data)
+        for cut in range(last_start, len(data)):
+            torn = tmp_path / f"torn-{cut}"
+            torn.mkdir()
+            shutil.copy(segment, torn / segment.name)
+            with open(torn / segment.name, "ab") as fh:
+                fh.truncate(cut)
+            recovered = WriteAheadLog(torn)
+            assert recovered.next_seq == 7
+            assert recovered.discarded_bytes == cut - last_start
+            assert len(list(recovered.replay(0))) == 7
+            # the log is usable again: the next append takes seq 7
+            assert recovered.append(make_record(1), True) == 7
+            recovered.close()
+
+    def test_corrupt_tail_byte_truncates_like_a_torn_write(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        fill(log, 6)
+        log.close()
+        segment = next(tmp_path.glob("wal-*.log"))
+        data = bytearray(segment.read_bytes())
+        data[-3] ^= 0xFF  # flip a payload byte of the last record
+        segment.write_bytes(data)
+        recovered = WriteAheadLog(tmp_path)
+        assert recovered.next_seq == 5
+        assert recovered.discarded_bytes > 0
+        recovered.close()
+
+    def test_mid_log_corruption_refuses_to_open(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        fill(log, 4)
+        log.rotate()
+        fill(log, 4, start=4)
+        log.close()
+        first = min(tmp_path.glob("wal-*.log"))
+        data = bytearray(first.read_bytes())
+        data[10] ^= 0xFF  # corrupt a non-final segment
+        first.write_bytes(data)
+        with pytest.raises(WalCorruptError, match="later segments exist"):
+            WriteAheadLog(tmp_path)
+
+    def test_missing_middle_segment_refuses_to_open(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        fill(log, 3)
+        log.rotate()
+        fill(log, 3, start=3)
+        log.rotate()
+        fill(log, 3, start=6)
+        log.close()
+        segments = sorted(tmp_path.glob("wal-*.log"))
+        segments[1].unlink()
+        with pytest.raises(WalCorruptError, match="missing or truncated"):
+            WriteAheadLog(tmp_path)

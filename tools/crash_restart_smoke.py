@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Crash-restart smoke of the durable online service (ISSUE 8 CI gate).
+
+What CI runs (and anyone can run locally)::
+
+    PYTHONPATH=src python tools/crash_restart_smoke.py
+
+The script:
+
+1. boots ``python -m repro serve --data-dir <tmp>`` with replication on,
+2. ingests a synthetic co-access trace over ``POST /ingest``,
+3. drains, checkpoints over ``POST /snapshot``, ingests a further tail
+   (journaled to the WAL but past the snapshot barrier), drains again,
+   and pins a ``/predict`` answer plus the aggregate ``/snapshot``
+   list count,
+4. SIGKILLs the server — no shutdown handler runs, the queue and the
+   in-memory state die instantly,
+5. restarts with ``--recover`` against the same data dir and asserts
+   the recovery line, the pinned query answer and the aggregate count
+   all match the pre-kill service exactly,
+6. shuts the recovered server down cleanly and expects exit 0.
+
+Any failed assertion or a hung step exits non-zero, printing both
+servers' captured output for diagnosis.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+N_RECORDS = 2000
+STEP_TIMEOUT_S = 60.0
+PINNED_FID = 7
+
+
+def get(url: str, path: str) -> dict:
+    with urllib.request.urlopen(url + path, timeout=10.0) as resp:
+        return json.loads(resp.read())
+
+
+def post(url: str, path: str, body: bytes = b"") -> dict:
+    req = urllib.request.Request(url + path, data=body, method="POST")
+    with urllib.request.urlopen(req, timeout=30.0) as resp:
+        return json.loads(resp.read())
+
+
+def synthetic_lines(n: int, start: int = 0) -> bytes:
+    lines = []
+    for i in range(start, start + n):
+        fid = (i * 7) % 331
+        lines.append(
+            json.dumps(
+                {
+                    "ts": i * 1000,
+                    "fid": fid,
+                    "uid": i % 13,
+                    "pid": 100 + (i % 5),
+                    "host": i % 3,
+                    "path": f"/data/f{fid}",
+                    "op": "open",
+                    "size": 0,
+                    "dev": 0,
+                }
+            )
+        )
+    return ("\n".join(lines) + "\n").encode()
+
+
+def boot(data_dir: Path, *extra: str) -> tuple[subprocess.Popen, str, list]:
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--shards",
+            "4",
+            "--replicate",
+            "--data-dir",
+            str(data_dir),
+            "--snapshot-interval",
+            "0",  # barriers come from POST /snapshot, deterministically
+            *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    captured: list[str] = []
+    deadline = time.monotonic() + STEP_TIMEOUT_S
+    url = None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        captured.append(line)
+        if line.startswith("serving on "):
+            url = line.split()[-1]
+            break
+    assert url, f"no readiness line: {''.join(captured)}"
+    return proc, url, captured
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="crash_restart_"))
+    data_dir = tmp / "data"
+    captured: list[str] = []
+    try:
+        proc, url, captured = boot(data_dir)
+
+        # ingest, checkpoint mid-stream, then a post-snapshot WAL tail
+        post(url, "/ingest", synthetic_lines(N_RECORDS))
+        post(url, "/drain")
+        checkpoint = post(url, "/snapshot")
+        assert checkpoint["seq"] == N_RECORDS, checkpoint
+        post(url, "/ingest", synthetic_lines(500, start=N_RECORDS))
+        post(url, "/drain")
+
+        pinned = get(url, f"/predict?fid={PINNED_FID}&k=8")["predicted"]
+        assert pinned, "pinned query answered nothing pre-kill"
+        aggregate = get(url, "/snapshot")
+        stats = get(url, "/stats")
+        assert stats["durability"]["wal"]["next_seq"] == N_RECORDS + 500
+
+        # SIGKILL: no handler runs; only the data dir survives
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=STEP_TIMEOUT_S)
+        assert proc.returncode != 0
+
+        proc, url, lines = boot(data_dir, "--recover")
+        captured += lines
+        recovery_line = next(
+            (line for line in lines if line.startswith("recovered to seq")),
+            "",
+        )
+        assert f"recovered to seq {N_RECORDS + 500}" in recovery_line, lines
+
+        recovered = get(url, f"/predict?fid={PINNED_FID}&k=8")["predicted"]
+        assert recovered == pinned, (
+            f"pinned answer diverged: pre-kill {pinned} vs "
+            f"recovered {recovered}"
+        )
+        assert get(url, "/snapshot") == aggregate, "aggregate diverged"
+        stats = get(url, "/stats")
+        recovery = stats["durability"]["recovery"]
+        assert recovery["wal_replayed"] == 500, recovery
+        assert recovery["durable_seq"] == N_RECORDS + 500, recovery
+
+        post(url, "/shutdown")
+        out, _ = proc.communicate(timeout=STEP_TIMEOUT_S)
+        captured.append(out)
+        assert proc.returncode == 0, f"exit {proc.returncode}"
+        assert "final snapshot at seq" in out, out
+        print("crash-restart smoke OK:")
+        print("  " + recovery_line.strip())
+        print("  pinned /predict answer identical after SIGKILL + --recover")
+        return 0
+    except BaseException:
+        print("".join(captured), file=sys.stderr)
+        raise
+    finally:
+        try:
+            proc.kill()
+        except Exception:
+            pass
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
