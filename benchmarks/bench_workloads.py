@@ -1,0 +1,63 @@
+"""Accuracy benchmarks: mining quality on the planted-truth scenarios.
+
+Unlike the throughput benches, these rows measure *what the miner gets
+right*: precision@k / recall@k against each scenario's planted
+correlation set plus the prefetch-hit comparison with the plant-only
+oracle (see :mod:`repro.workloads.eval` for the metric definitions).
+The rows land in ``BENCH_core.json`` (``BENCH_MODULE`` routing) so the
+accuracy trajectory is diffable across PRs next to the perf numbers,
+and every row asserts its pinned floor from
+:data:`repro.workloads.eval.ACCURACY_FLOORS` — an accuracy regression
+fails the bench run, not just drifts the artifact.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.workloads import SCENARIO_NAMES, evaluate_scenario
+from repro.workloads.eval import check_floors
+
+# route rows into BENCH_core.json next to the mining perf numbers
+BENCH_MODULE = "bench_core"
+
+WORKLOAD_EVENTS = 4000
+
+
+@pytest.mark.parametrize("scenario", SCENARIO_NAMES)
+def bench_workload_accuracy(scenario, bench_record):
+    """Single-shard mining accuracy per scenario, floor-asserted."""
+    t0 = time.perf_counter()
+    report = evaluate_scenario(scenario, n_events=WORKLOAD_EVENTS, seed=0)
+    elapsed = time.perf_counter() - t0
+    row = report.to_dict()
+    row.pop("scenario")
+    bench_record(eval_s=round(elapsed, 3), **row)
+    violations = check_floors(report)
+    assert not violations, "; ".join(violations)
+
+
+def bench_workload_sharded_accuracy(bench_record):
+    """Sharding's accuracy cost on the multi-tenant scenario.
+
+    Partitioning the graph by fid loses some cross-shard reinforcement
+    (boundary echoes keep the edges alive but each shard sees only its
+    own side's lists), so sharded precision trails single-shard. The
+    row pins both so the gap is tracked, with a loose floor on the
+    sharded side.
+    """
+    single = evaluate_scenario("multi_tenant", n_events=WORKLOAD_EVENTS, seed=0)
+    sharded = evaluate_scenario(
+        "multi_tenant", n_events=WORKLOAD_EVENTS, seed=0, n_shards=4
+    )
+    bench_record(
+        single_precision_at_4=round(single.at(4).precision, 6),
+        sharded_precision_at_4=round(sharded.at(4).precision, 6),
+        single_recall_at_4=round(single.at(4).recall, 6),
+        sharded_recall_at_4=round(sharded.at(4).recall, 6),
+        sharded_mined_hit_rate=round(sharded.mined_hit_rate, 6),
+    )
+    assert sharded.at(1).precision >= 0.70
+    assert sharded.mined_hit_rate >= 0.5 * single.mined_hit_rate

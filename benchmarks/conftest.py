@@ -84,8 +84,10 @@ def pytest_sessionfinish(session, exitstatus):
 def bench_record(request):
     """Record named metrics for the current benchmark: call
     ``bench_record(metric=value, ...)`` any number of times; entries
-    land in the module's BENCH_*.json under the test's node name."""
-    module = request.module.__name__
+    land in the module's BENCH_*.json under the test's node name. A
+    module may set ``BENCH_MODULE`` to route its rows into another
+    module's artifact (bench_workloads feeds BENCH_core.json)."""
+    module = getattr(request.module, "BENCH_MODULE", request.module.__name__)
 
     def record(**metrics):
         _RESULTS.setdefault(module, {}).setdefault(

@@ -10,6 +10,8 @@ Usage::
     farmer-repro service --shards 4 --router consistent_hash --rebalance 6
     farmer-repro service --shards 4 --mds 4 --routed-prefetch
     farmer-repro serve --shards 4 --replicate --tail /var/log/trace.jsonl
+    farmer-repro workload --events 6000
+    farmer-repro workload diurnal --shards 4 --json
 
 or equivalently ``python -m repro ...``. The ``service`` subcommand
 measures the sharded mining service against the single-miner baseline
@@ -219,6 +221,59 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker count for --parallel (default: min(shards, cores))",
+    )
+
+    wl_p = sub.add_parser(
+        "workload",
+        help=(
+            "evaluate mining accuracy on the planted-truth scenario "
+            "suite: precision@k / recall@k / prefetch-hit headroom"
+        ),
+    )
+    wl_p.add_argument(
+        "scenarios",
+        nargs="*",
+        metavar="SCENARIO",
+        help="scenario names (default: all; see `workload --list`)",
+    )
+    wl_p.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_scenarios",
+        help="list the registered scenarios and exit",
+    )
+    wl_p.add_argument(
+        "--events",
+        type=int,
+        default=None,
+        help="events per scenario (default 6000)",
+    )
+    wl_p.add_argument("--seed", type=int, default=0, help="scenario seed")
+    wl_p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="mine through an N-shard ShardedFarmer instead of one Farmer",
+    )
+    wl_p.add_argument(
+        "--online",
+        action="store_true",
+        help=(
+            "drive the stream through the full online ingestion service "
+            "(ReplayAgent -> admission queue -> shards) before scoring"
+        ),
+    )
+    wl_p.add_argument(
+        "--ks",
+        type=str,
+        default="1,4",
+        help="comma-separated precision/recall cut-offs (default 1,4)",
+    )
+    wl_p.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit one JSON object per scenario instead of the table",
     )
 
     serve_p = sub.add_parser(
@@ -641,6 +696,93 @@ def _run_service(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_workload(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ConfigError
+    from repro.workloads import (
+        DEFAULT_EVENTS,
+        SCENARIO_NAMES,
+        evaluate_scenario,
+        scenario_descriptions,
+    )
+
+    if args.list_scenarios:
+        rows = [
+            (name, desc) for name, desc in scenario_descriptions().items()
+        ]
+        print(format_table(("scenario", "description"), rows))
+        return 0
+    names = tuple(args.scenarios) or SCENARIO_NAMES
+    unknown = [n for n in names if n not in SCENARIO_NAMES]
+    if unknown:
+        print(
+            f"unknown scenario(s) {', '.join(unknown)}; expected "
+            f"{', '.join(SCENARIO_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        ks = tuple(int(k) for k in args.ks.split(",") if k)
+    except ValueError:
+        print(f"--ks must be comma-separated integers: {args.ks!r}", file=sys.stderr)
+        return 2
+    n_events = args.events if args.events is not None else DEFAULT_EVENTS
+    reports = []
+    for name in names:
+        try:
+            reports.append(
+                evaluate_scenario(
+                    name,
+                    n_events=n_events,
+                    seed=args.seed,
+                    ks=ks,
+                    n_shards=args.shards,
+                    online=args.online,
+                )
+            )
+        except ConfigError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    if args.as_json:
+        for report in reports:
+            print(json.dumps(report.to_dict(), sort_keys=True))
+        return 0
+    miner = (
+        f"online x{args.shards}"
+        if args.online
+        else (f"sharded x{args.shards}" if args.shards > 1 else "farmer")
+    )
+    print(
+        f"scenario evaluation vs planted truth "
+        f"(events={n_events}, seed={args.seed}, miner={miner}; "
+        f"headroom = oracle hit rate - mined hit rate, negative when "
+        f"mining beats the plant-only oracle)"
+    )
+    header = ["scenario", "truth", "scored"]
+    for k in ks:
+        header += [f"p@{k}", f"r@{k}"]
+    header += ["oracle", "mined", "headroom"]
+    rows = []
+    for report in reports:
+        row = [
+            report.scenario,
+            str(report.n_truth_pairs),
+            str(report.n_scored_sources),
+        ]
+        for k in ks:
+            m = report.at(k)
+            row += [f"{m.precision:.3f}", f"{m.recall:.3f}"]
+        row += [
+            f"{report.oracle_hit_rate:.3f}",
+            f"{report.mined_hit_rate:.3f}",
+            f"{report.headroom:+.3f}",
+        ]
+        rows.append(tuple(row))
+    print(format_table(tuple(header), rows))
+    return 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
@@ -838,6 +980,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "service":
         return _run_service(args)
+    if args.command == "workload":
+        return _run_workload(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "all":

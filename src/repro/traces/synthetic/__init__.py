@@ -3,19 +3,19 @@
 The paper evaluates on four proprietary traces (LLNL, INS, RES, HP); this
 subpackage generates statistically comparable streams — see DESIGN.md §2
 for the substitution argument.
+
+The namespace, program model and interleaving engine are numpy-free (the
+scenario suite in :mod:`repro.workloads` drives them with a pure-python
+PRNG on the no-numpy CI leg); only the four paper profiles draw from
+``numpy.random``, so their names are re-exported lazily (PEP 562).
 """
 
 from repro.traces.synthetic.namespace import Namespace, SyntheticFile
-from repro.traces.synthetic.profiles import (
-    TRACE_NAMES,
-    Workload,
-    generate_trace,
-    make_workload,
-)
 from repro.traces.synthetic.programs import (
     ProgramSpec,
     build_program,
     generate_run_sequence,
+    planted_pairs,
 )
 from repro.traces.synthetic.workload import (
     EngineParams,
@@ -23,6 +23,18 @@ from repro.traces.synthetic.workload import (
     TraceEngine,
     zipf_weights,
 )
+
+_PROFILE_NAMES = ("TRACE_NAMES", "Workload", "generate_trace", "make_workload")
+
+
+def __getattr__(name: str):
+    """Lazily resolve the numpy-backed profile builders (PEP 562)."""
+    if name in _PROFILE_NAMES:
+        from repro.traces.synthetic import profiles
+
+        return getattr(profiles, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Namespace",
@@ -34,6 +46,7 @@ __all__ = [
     "ProgramSpec",
     "build_program",
     "generate_run_sequence",
+    "planted_pairs",
     "EngineParams",
     "RunPlan",
     "TraceEngine",

@@ -17,12 +17,19 @@ share *no* path prefix yet are strongly correlated.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-import numpy as np
+if TYPE_CHECKING:  # pragma: no cover - annotations only; module is numpy-free
+    import numpy as np
 
 from repro.traces.synthetic.namespace import Namespace, SyntheticFile
 
-__all__ = ["ProgramSpec", "generate_run_sequence", "build_program"]
+__all__ = [
+    "ProgramSpec",
+    "generate_run_sequence",
+    "build_program",
+    "planted_pairs",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -80,6 +87,41 @@ def build_program(
         libraries=tuple(libraries),
         group=tuple(group),
     )
+
+
+def planted_pairs(
+    spec: ProgramSpec,
+    *,
+    depth: int = 1,
+    decay: float = 0.5,
+    prefix_strength: float = 1.0,
+    group_strength: float = 1.0,
+) -> list[tuple[int, int, float]]:
+    """Ground-truth successor pairs one run of ``spec`` plants.
+
+    A clean run accesses ``exec, lib_1..lib_L, group_0..group_n`` in
+    canonical order, so every pair within ``depth`` positions of that
+    sequence is a *true* correlation — the oracle the scenario suite
+    evaluates mined lists against (``depth`` mirrors the miner's
+    look-ahead window; successors ``d`` positions ahead are derated by
+    ``decay ** (d - 1)``, the same shape as the LDA weight schedule).
+    Returns ``(src_fid, dst_fid, strength)`` triples: pairs fully inside
+    the executable/library prefix (never perturbed by run noise) start
+    from ``prefix_strength``; pairs reaching into the working group
+    start from ``group_strength``, which callers derate for their noise
+    knobs (order noise, subsetting and truncation all dilute observed
+    adjacency).
+    """
+    if depth < 1:
+        raise ValueError("planted_pairs needs depth >= 1")
+    files = spec.all_files()
+    n_prefix = 1 + len(spec.libraries)
+    pairs: list[tuple[int, int, float]] = []
+    for i in range(len(files) - 1):
+        for d in range(1, min(depth, len(files) - 1 - i) + 1):
+            base = prefix_strength if i + d < n_prefix else group_strength
+            pairs.append((files[i].fid, files[i + d].fid, base * decay ** (d - 1)))
+    return pairs
 
 
 def generate_run_sequence(

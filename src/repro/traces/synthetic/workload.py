@@ -9,14 +9,22 @@ at every step lets a random active run emit its next access. Semantic
 attributes (uid/pid/host/path) travel with each record, so an
 attribute-aware miner can undo the interleaving — exactly the effect the
 paper measures in Figure 1 and exploits in FARMER.
+
+The engine is generator-agnostic: it only calls ``random()``,
+``integers(low, high)`` and ``exponential(mean)`` on the stream it is
+given, so both ``numpy.random.Generator`` (the four paper profiles) and
+the pure-python :class:`repro.workloads.prng.PureRng` (the scenario
+suite, which must run on a numpy-free interpreter) drive it. The module
+itself imports numpy lazily for the same reason.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
-import numpy as np
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    import numpy as np
 
 from repro.errors import ConfigError
 from repro.traces.record import TraceRecord
@@ -25,8 +33,10 @@ from repro.traces.synthetic.namespace import Namespace, SyntheticFile
 __all__ = ["RunPlan", "RunFactory", "EngineParams", "TraceEngine", "zipf_weights"]
 
 
-def zipf_weights(n: int, s: float) -> np.ndarray:
+def zipf_weights(n: int, s: float) -> "np.ndarray":
     """Normalised Zipf(s) weights over ``n`` ranks (rank 0 most popular)."""
+    import numpy as np  # deferred: the engine itself is numpy-free
+
     if n <= 0:
         raise ConfigError("zipf_weights needs n >= 1")
     ranks = np.arange(1, n + 1, dtype=np.float64)
@@ -133,6 +143,10 @@ class TraceEngine:
         self._pending: list[RunPlan] = []
         self._run_counter = 0
         self._clock_ns = 0
+        # the in-flight burst survives across generate() calls, so a
+        # stream produced in slices is bit-identical to one produced in
+        # a single call (the scenario suite's resumability contract)
+        self._current: _ActiveRun | None = None
 
     def _admit_runs(self) -> None:
         """Top the active set back up to the concurrency level."""
@@ -179,18 +193,19 @@ class TraceEngine:
         records: list[TraceRecord] = []
         ns = self._factory.namespace
         p_switch = 1.0 / self._params.burst_mean
-        current: _ActiveRun | None = None
         while len(records) < n_events:
             self._admit_runs()
-            if current is None or self._rng.random() < p_switch:
-                current = self._active[int(self._rng.integers(0, len(self._active)))]
-            run = current
+            if self._current is None or self._rng.random() < p_switch:
+                self._current = self._active[
+                    int(self._rng.integers(0, len(self._active)))
+                ]
+            run = self._current
             if self._rng.random() < self._params.random_access_rate and len(ns) > 0:
                 f = ns.by_fid(int(self._rng.integers(0, len(ns))))
             else:
                 f = run.next_file()
                 if run.exhausted():
                     self._active.remove(run)
-                    current = None
+                    self._current = None
             records.append(self._emit(run, f))
         return records

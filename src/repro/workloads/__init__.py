@@ -1,0 +1,59 @@
+"""Workload scenario suite with planted-correlation ground truth.
+
+Six composable scenarios (zipfian hotspot, producer/consumer pipeline,
+directory-scan storm, small-file metadata churn, multi-tenant
+interleaving, diurnal load shift) built on the same interleaving
+:class:`~repro.traces.synthetic.workload.TraceEngine` as the paper
+profiles — but each one also emits a machine-readable
+:class:`TruthSet` of the correlations it planted, so mined Correlator
+Lists can be scored with precision@k / recall@k and prefetch-hit
+headroom instead of only kernel-vs-kernel bit-equality.
+
+The whole package is numpy-free (randomness comes from the pure-python
+:class:`~repro.workloads.prng.PureRng`), so scenario generation and
+evaluation run identically on the no-numpy CI leg and across
+``PYTHONHASHSEED`` settings. Entry points: ``repro workload`` on the
+CLI, :func:`evaluate_scenario` / :func:`evaluate_all` in code,
+``benchmarks/bench_workloads.py`` for the pinned BENCH rows.
+"""
+
+from repro.workloads.eval import (
+    DEFAULT_EVENTS,
+    DEFAULT_KS,
+    KMetrics,
+    ScenarioReport,
+    evaluate_all,
+    evaluate_scenario,
+    mine_scenario,
+    score_miner,
+)
+from repro.workloads.prng import PureRng, derive_prng
+from repro.workloads.scenario import (
+    SCENARIO_NAMES,
+    PlantedPair,
+    ScenarioInstance,
+    TruthSet,
+    generate_scenario,
+    make_scenario,
+    scenario_descriptions,
+)
+
+__all__ = [
+    "SCENARIO_NAMES",
+    "PlantedPair",
+    "TruthSet",
+    "ScenarioInstance",
+    "make_scenario",
+    "generate_scenario",
+    "scenario_descriptions",
+    "PureRng",
+    "derive_prng",
+    "KMetrics",
+    "ScenarioReport",
+    "mine_scenario",
+    "score_miner",
+    "evaluate_scenario",
+    "evaluate_all",
+    "DEFAULT_KS",
+    "DEFAULT_EVENTS",
+]

@@ -1,0 +1,326 @@
+"""Precision/recall evaluation of mined lists against planted truth.
+
+The scenario suite's scoring contract, in three layers:
+
+* :func:`mine_scenario` — run a miner (single-shard :class:`Farmer`,
+  :class:`ShardedFarmer`, or the full :class:`OnlineService` ingestion
+  path) over a scenario's record stream;
+* :func:`score_miner` — compare any mined miner's per-file prediction
+  lists against a :class:`~repro.workloads.scenario.TruthSet`,
+  producing macro-averaged precision@k / recall@k plus the
+  prefetch-hit headroom (how far the mined prefetcher trails the
+  planted oracle on the actual stream tail);
+* :func:`evaluate_scenario` / :func:`evaluate_all` — the one-call
+  wrappers the CLI, the benchmark suite and CI floors consume.
+
+Metric definitions (documented verbatim in ``docs/workloads.md``):
+
+* For each truth source with at least ``min_support`` appearances in
+  the trace, ``preds = miner.predict(src, k)`` (the threshold-filtered
+  Correlator List head, so ``len(preds)`` may be < k).
+  **precision@k** = planted hits / ``len(preds)`` (0 when empty);
+  **recall@k** = planted hits / ``min(k, n planted successors)``.
+  Both are macro-averaged over scored sources — every planted source
+  counts equally, so a hot program can't mask a mis-mined cold one.
+* **prefetch-hit rate**: over the post-warmup stream tail, the fraction
+  of accesses found in the prefetch set (``predict(prev, k)``) of the
+  immediately preceding access. The **oracle** rate replaces the mined
+  set with the truth set's top-k; **headroom** = oracle − mined is how
+  much planted signal the miner left unclaimed. Headroom goes
+  *negative* when mining beats the plant-only oracle — the miner also
+  learns real co-access structure the truth set doesn't enumerate
+  (revisits, cross-run interleavings), which FARMER on these scenarios
+  in fact does.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass, replace
+
+from repro.core.config import FarmerConfig
+from repro.core.farmer import Farmer
+from repro.errors import ConfigError
+from repro.traces.record import TraceRecord
+from repro.workloads.scenario import TruthSet, make_scenario
+
+__all__ = [
+    "KMetrics",
+    "ScenarioReport",
+    "mine_scenario",
+    "score_miner",
+    "evaluate_scenario",
+    "evaluate_all",
+    "check_floors",
+    "ACCURACY_FLOORS",
+    "DEFAULT_KS",
+    "DEFAULT_EVENTS",
+]
+
+DEFAULT_KS: tuple[int, ...] = (1, 4)
+DEFAULT_EVENTS = 6000
+_MIN_SUPPORT = 3
+_WARMUP_FRAC = 0.25
+
+# The pinned per-scenario accuracy floors (single-shard Farmer, seed 0,
+# 3000+ events). Measured values sit 0.04-0.10 above every floor across
+# the 3000/4000/6000-event runs, so the slack absorbs event-count tuning
+# but an accuracy regression in the miner (a broken blend, a truncated
+# window, a mis-ranked list) trips them. Asserted by the tier-1 floor
+# test, the workload benchmarks and the CI workload-eval job.
+ACCURACY_FLOORS: dict[str, dict[str, float]] = {
+    "zipfian_hotspot": {"precision_at_1": 0.93, "recall_at_4": 0.88},
+    "pipeline": {"precision_at_1": 0.88, "recall_at_4": 0.75},
+    "scan_storm": {"precision_at_1": 0.92, "recall_at_4": 0.78},
+    "metadata_churn": {"precision_at_1": 0.82, "recall_at_4": 0.82},
+    "multi_tenant": {"precision_at_1": 0.92, "recall_at_4": 0.88},
+    "diurnal": {"precision_at_1": 0.92, "recall_at_4": 0.88},
+}
+
+
+@dataclass(frozen=True, slots=True)
+class KMetrics:
+    """Macro-averaged retrieval quality at one cut-off ``k``."""
+
+    k: int
+    precision: float
+    recall: float
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioReport:
+    """One scenario's full evaluation against its planted truth."""
+
+    scenario: str
+    n_events: int
+    n_truth_pairs: int
+    n_scored_sources: int
+    metrics: tuple[KMetrics, ...]
+    oracle_hit_rate: float
+    mined_hit_rate: float
+
+    @property
+    def headroom(self) -> float:
+        """Prefetch-hit rate the miner left on the table vs the oracle.
+
+        Negative when the miner *beats* the plant-only oracle by also
+        exploiting unplanted co-access structure.
+        """
+        return self.oracle_hit_rate - self.mined_hit_rate
+
+    def at(self, k: int) -> KMetrics:
+        """The metrics row for cut-off ``k``.
+
+        Raises:
+            ConfigError: when ``k`` was not evaluated.
+        """
+        for m in self.metrics:
+            if m.k == k:
+                return m
+        raise ConfigError(f"no metrics at k={k} for {self.scenario!r}")
+
+    def to_dict(self) -> dict:
+        """Flat JSON-friendly form (the BENCH row payload)."""
+        out: dict = {
+            "scenario": self.scenario,
+            "n_events": self.n_events,
+            "n_truth_pairs": self.n_truth_pairs,
+            "n_scored_sources": self.n_scored_sources,
+            "oracle_hit_rate": round(self.oracle_hit_rate, 6),
+            "mined_hit_rate": round(self.mined_hit_rate, 6),
+            "headroom": round(self.headroom, 6),
+        }
+        for m in self.metrics:
+            out[f"precision_at_{m.k}"] = round(m.precision, 6)
+            out[f"recall_at_{m.k}"] = round(m.recall, 6)
+        return out
+
+
+def mine_scenario(
+    records: Sequence[TraceRecord],
+    config: FarmerConfig | None = None,
+    *,
+    n_shards: int = 1,
+    online: bool = False,
+):
+    """Mine a scenario stream; returns an object with ``predict``.
+
+    ``n_shards > 1`` mines through :class:`ShardedFarmer` (consistent
+    echo semantics with the service); ``online=True`` goes the whole
+    way — a :class:`~repro.online.agent.ReplayAgent` offering into a
+    running :class:`~repro.online.pipeline.OnlineService` with an
+    admission policy generous enough that nothing is shed, then a
+    drain, so the result is the drain-equivalence batch state.
+    """
+    config = config if config is not None else FarmerConfig()
+    if online:
+        from repro.online.agent import ReplayAgent
+        from repro.online.pipeline import AdmissionPolicy, OnlineService
+
+        policy = AdmissionPolicy(
+            capacity=max(len(records) + 1, 1024),
+            echo_watermark=1.0,
+            defer_watermark=1.0,
+        )
+        sharded = replace(config, n_shards=max(n_shards, 1))
+        with OnlineService(sharded, policy=policy) as service:
+            ReplayAgent(records).run(service)
+            service.drain()
+        return service.service
+    if n_shards > 1:
+        from repro.service.sharded import ShardedFarmer
+
+        return ShardedFarmer(replace(config, n_shards=n_shards)).mine(records)
+    return Farmer(config).mine(records)
+
+
+def score_miner(
+    miner,
+    truth: TruthSet,
+    records: Sequence[TraceRecord],
+    *,
+    scenario: str = "",
+    ks: Sequence[int] = DEFAULT_KS,
+    prefetch_k: int | None = None,
+    min_support: int = _MIN_SUPPORT,
+    warmup_frac: float = _WARMUP_FRAC,
+) -> ScenarioReport:
+    """Score any mined miner against a planted truth set.
+
+    ``miner`` needs only ``predict(fid, k)`` — :class:`Farmer`,
+    :class:`ShardedFarmer` and :class:`OnlineService` all qualify, which
+    is exactly what the kernel-parity and sharded-equivalence tests
+    exploit.
+    """
+    if not ks:
+        raise ConfigError("score_miner needs at least one k")
+    support = Counter(r.fid for r in records)
+    scored = [
+        src for src in truth.sources() if support[src] >= min_support
+    ]
+    metrics: list[KMetrics] = []
+    for k in ks:
+        p_sum = 0.0
+        r_sum = 0.0
+        for src in scored:
+            planted = {p.dst for p in truth.successors(src)}
+            preds = miner.predict(src, k)
+            hits = sum(1 for fid in preds if fid in planted)
+            p_sum += hits / len(preds) if preds else 0.0
+            r_sum += hits / min(k, len(planted))
+        n = len(scored) or 1
+        metrics.append(KMetrics(k=k, precision=p_sum / n, recall=r_sum / n))
+
+    # prefetch-hit rates over the stream tail: would the next access
+    # have been in the prefetch set issued for the previous one?
+    k_hit = (
+        prefetch_k
+        if prefetch_k is not None
+        else getattr(getattr(miner, "config", None), "prefetch_k", None) or 4
+    )
+    fids = [r.fid for r in records]
+    start = max(1, int(len(fids) * warmup_frac))
+    n_pairs = 0
+    oracle_hits = 0
+    mined_hits = 0
+    for i in range(start, len(fids)):
+        prev, nxt = fids[i - 1], fids[i]
+        if prev == nxt:
+            continue  # a repeat is trivially cached, not a prefetch
+        n_pairs += 1
+        if nxt in truth.top(prev, k_hit):
+            oracle_hits += 1
+        if nxt in miner.predict(prev, k_hit):
+            mined_hits += 1
+    denom = n_pairs or 1
+    return ScenarioReport(
+        scenario=scenario,
+        n_events=len(records),
+        n_truth_pairs=len(truth),
+        n_scored_sources=len(scored),
+        metrics=tuple(metrics),
+        oracle_hit_rate=oracle_hits / denom,
+        mined_hit_rate=mined_hits / denom,
+    )
+
+
+def evaluate_scenario(
+    name: str,
+    n_events: int = DEFAULT_EVENTS,
+    seed: int = 0,
+    config: FarmerConfig | None = None,
+    *,
+    ks: Sequence[int] = DEFAULT_KS,
+    n_shards: int = 1,
+    online: bool = False,
+    min_support: int = _MIN_SUPPORT,
+) -> ScenarioReport:
+    """Generate, mine and score one named scenario end to end."""
+    instance = make_scenario(name, seed=seed)
+    records = instance.generate(n_events)
+    miner = mine_scenario(
+        records, config, n_shards=n_shards, online=online
+    )
+    return score_miner(
+        miner,
+        instance.truth,
+        records,
+        scenario=name,
+        ks=ks,
+        min_support=min_support,
+    )
+
+
+def check_floors(
+    report: ScenarioReport,
+    floors: dict[str, dict[str, float]] | None = None,
+) -> list[str]:
+    """Accuracy-floor violations of one report (empty = all clear).
+
+    Each violation is a human-readable string naming the scenario, the
+    metric, the measured value and the floor — what the CI job prints
+    before failing.
+    """
+    table = floors if floors is not None else ACCURACY_FLOORS
+    row = report.to_dict()
+    violations: list[str] = []
+    for metric, floor in table.get(report.scenario, {}).items():
+        value = row.get(metric)
+        if value is None:
+            violations.append(
+                f"{report.scenario}: metric {metric!r} not evaluated "
+                f"(floor {floor})"
+            )
+        elif value < floor:
+            violations.append(
+                f"{report.scenario}: {metric}={value:.3f} below floor {floor}"
+            )
+    return violations
+
+
+def evaluate_all(
+    names: Sequence[str] | None = None,
+    n_events: int = DEFAULT_EVENTS,
+    seed: int = 0,
+    config: FarmerConfig | None = None,
+    *,
+    ks: Sequence[int] = DEFAULT_KS,
+    n_shards: int = 1,
+    online: bool = False,
+) -> list[ScenarioReport]:
+    """Evaluate every (or the named subset of) scenario(s)."""
+    from repro.workloads.scenario import SCENARIO_NAMES
+
+    return [
+        evaluate_scenario(
+            name,
+            n_events=n_events,
+            seed=seed,
+            config=config,
+            ks=ks,
+            n_shards=n_shards,
+            online=online,
+        )
+        for name in (names if names is not None else SCENARIO_NAMES)
+    ]

@@ -1,0 +1,560 @@
+"""The scenario builders: six workloads with planted ground truth.
+
+Every builder wires the same three primitives into a
+:class:`~repro.workloads.scenario.ScenarioInstance`:
+
+* :class:`PoolSource` — a zipf-popular pool of chain programs (built
+  with :func:`~repro.traces.synthetic.programs.build_program`, so the
+  binary/working-group split and the run-noise model are exactly the
+  paper profiles'), whose truth is
+  :func:`~repro.traces.synthetic.programs.planted_pairs`;
+* :class:`ChainSource` — raw multi-segment file chains (pipelines,
+  directory scans) where segments hand files across uids;
+* :class:`MixFactory` — a :class:`~repro.traces.synthetic.workload.RunFactory`
+  that draws each job from a weighted mix of sources, with optionally
+  *scheduled* weights (the diurnal shift), feeding the standard
+  interleaving :class:`~repro.traces.synthetic.workload.TraceEngine`.
+
+Everything here is numpy-free: randomness comes from
+:class:`~repro.workloads.prng.PureRng`, so the generated streams and
+truth sets are identical across processes, interpreters and
+``PYTHONHASHSEED`` settings — pinned by the determinism suite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.core.config import DEFAULT_ATTRIBUTES
+from repro.errors import ConfigError
+from repro.traces.synthetic.namespace import Namespace, SyntheticFile
+from repro.traces.synthetic.programs import (
+    ProgramSpec,
+    build_program,
+    generate_run_sequence,
+    planted_pairs,
+)
+from repro.traces.synthetic.workload import EngineParams, RunPlan, TraceEngine
+from repro.workloads.prng import (
+    PureRng,
+    derive_prng,
+    pick_weighted,
+    zipf_cumulative,
+)
+from repro.workloads.scenario import (
+    PlantedPair,
+    ScenarioInstance,
+    TruthSet,
+    scenario_descriptions,
+)
+
+__all__ = [
+    "NoiseSpec",
+    "PoolSource",
+    "ChainSource",
+    "MixFactory",
+    "BUILDERS",
+    "TRUTH_DEPTH",
+]
+
+# planted look-ahead: successors up to 3 positions ahead are true
+# correlates, matching the miner's default window (4) with one step of
+# slack for interleaving
+TRUTH_DEPTH = 3
+_DECAY = 0.5
+
+
+@dataclass(frozen=True, slots=True)
+class NoiseSpec:
+    """Run-sequence perturbation knobs shared by the sources."""
+
+    order_noise: float = 0.1
+    revisit_rate: float = 0.05
+    truncate: float = 0.05
+    subset: float = 1.0
+    head_bias: float = 0.0
+
+
+class PoolSource:
+    """Zipf-popular pool of chain programs; one run per job.
+
+    The pure-python analogue of the paper profiles'
+    :class:`~repro.traces.synthetic.profiles.PoolFactory`, with the
+    planted-truth hook attached: its ground truth is the union of every
+    program's :func:`planted_pairs` within :data:`TRUTH_DEPTH`.
+    """
+
+    def __init__(
+        self,
+        entries: list[tuple[ProgramSpec, int | None]],
+        user_hosts: dict[int, list[int]],
+        noise: NoiseSpec,
+        program_zipf_s: float = 1.0,
+        user_zipf_s: float = 0.8,
+    ) -> None:
+        if not entries:
+            raise ConfigError("PoolSource needs at least one program")
+        self._entries = entries
+        self._user_hosts = user_hosts
+        self._users = sorted(user_hosts)
+        self._noise = noise
+        self._program_cum = zipf_cumulative(len(entries), program_zipf_s)
+        self._user_cum = zipf_cumulative(len(self._users), user_zipf_s)
+
+    def plan_runs(self, rng: PureRng) -> list[RunPlan]:
+        """One run: program by popularity, eligible user, noisy sequence."""
+        spec, owner = self._entries[pick_weighted(rng, self._program_cum)]
+        uid = (
+            owner
+            if owner is not None
+            else self._users[pick_weighted(rng, self._user_cum)]
+        )
+        hosts = self._user_hosts[uid]
+        host = hosts[rng.integers(0, len(hosts))]
+        files = generate_run_sequence(
+            spec,
+            rng,
+            order_noise=self._noise.order_noise,
+            revisit_rate=self._noise.revisit_rate,
+            truncate=self._noise.truncate,
+            subset=self._noise.subset,
+            head_bias=self._noise.head_bias,
+        )
+        return [RunPlan(uid=uid, host=host, program_id=spec.program_id, files=files)]
+
+    def truth_pairs(self) -> list[PlantedPair]:
+        """Planted pairs of every program, derated by the order noise."""
+        group_strength = max(0.05, 1.0 - self._noise.order_noise)
+        return [
+            PlantedPair(src=src, dst=dst, strength=strength)
+            for spec, _ in self._entries
+            for src, dst, strength in planted_pairs(
+                spec,
+                depth=TRUTH_DEPTH,
+                decay=_DECAY,
+                group_strength=group_strength,
+            )
+        ]
+
+
+@dataclass(frozen=True, slots=True)
+class Chain:
+    """One planted file chain split into per-uid run segments.
+
+    Consecutive segments share their boundary file (the producer's last
+    access is the consumer's first — the handoff), so the chain's
+    adjacency spans uids while every individual access stays inside one
+    run.
+    """
+
+    chain_id: int
+    segments: tuple[tuple[int, tuple[SyntheticFile, ...]], ...]  # (uid, files)
+    hosts: tuple[int, ...]
+
+    def files(self) -> list[SyntheticFile]:
+        """The full chain in canonical order (handoff files deduped)."""
+        out: list[SyntheticFile] = []
+        for _, segment in self.segments:
+            for f in segment:
+                if not out or out[-1].fid != f.fid:
+                    out.append(f)
+        return out
+
+
+class ChainSource:
+    """Raw chains (pipelines, scans): one job = one run per segment."""
+
+    def __init__(
+        self,
+        chains: list[Chain],
+        noise: NoiseSpec,
+        chain_zipf_s: float = 0.8,
+    ) -> None:
+        if not chains:
+            raise ConfigError("ChainSource needs at least one chain")
+        self._chains = chains
+        self._noise = noise
+        self._cum = zipf_cumulative(len(chains), chain_zipf_s)
+
+    def plan_runs(self, rng: PureRng) -> list[RunPlan]:
+        """One job: every segment of one chain as its own run."""
+        chain = self._chains[pick_weighted(rng, self._cum)]
+        plans: list[RunPlan] = []
+        for uid, segment in chain.segments:
+            files = list(segment)
+            # interior adjacent swaps only: handoff boundaries stay exact
+            i = 1
+            while i < len(files) - 2:
+                if rng.random() < self._noise.order_noise:
+                    files[i], files[i + 1] = files[i + 1], files[i]
+                    i += 2
+                else:
+                    i += 1
+            if (
+                self._noise.truncate > 0.0
+                and len(files) > 2
+                and rng.random() < self._noise.truncate
+            ):
+                files = files[: rng.integers(2, len(files))]
+            host = chain.hosts[rng.integers(0, len(chain.hosts))]
+            plans.append(
+                RunPlan(
+                    uid=uid, host=host, program_id=chain.chain_id, files=files
+                )
+            )
+        return plans
+
+    def truth_pairs(self) -> list[PlantedPair]:
+        """Window-deep adjacency over each full chain, noise-derated."""
+        strength = max(0.05, 1.0 - self._noise.order_noise)
+        pairs: list[PlantedPair] = []
+        for chain in self._chains:
+            files = chain.files()
+            for i in range(len(files) - 1):
+                for d in range(1, min(TRUTH_DEPTH, len(files) - 1 - i) + 1):
+                    pairs.append(
+                        PlantedPair(
+                            src=files[i].fid,
+                            dst=files[i + d].fid,
+                            strength=strength * _DECAY ** (d - 1),
+                        )
+                    )
+        return pairs
+
+
+class MixFactory:
+    """RunFactory drawing each job from a weighted mix of sources.
+
+    ``schedule`` (when given) maps the job index to per-source weights —
+    the seam that turns a static multi-tenant mix into a diurnal shift
+    without touching the engine. Weights need not be normalised.
+    """
+
+    def __init__(
+        self,
+        namespace: Namespace,
+        sources: Sequence[PoolSource | ChainSource],
+        weights: Sequence[float] | None = None,
+        schedule: Callable[[int], Sequence[float]] | None = None,
+    ) -> None:
+        if not sources:
+            raise ConfigError("MixFactory needs at least one source")
+        if weights is not None and len(weights) != len(sources):
+            raise ConfigError("MixFactory needs one weight per source")
+        self.namespace = namespace
+        self._sources = list(sources)
+        self._weights = list(weights) if weights is not None else None
+        self._schedule = schedule
+        self._jobs = 0
+
+    @property
+    def jobs_planned(self) -> int:
+        """Jobs drawn so far (the schedule's clock)."""
+        return self._jobs
+
+    def _cum_weights(self) -> list[float]:
+        weights = (
+            list(self._schedule(self._jobs))
+            if self._schedule is not None
+            else (self._weights or [1.0] * len(self._sources))
+        )
+        total = sum(weights)
+        if total <= 0.0:
+            raise ConfigError("MixFactory weights must sum to > 0")
+        cum: list[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cum.append(acc)
+        cum[-1] = 1.0
+        return cum
+
+    def next_runs(self, rng: PureRng) -> list[RunPlan]:
+        """Plan the next job from the currently-weighted source."""
+        if len(self._sources) == 1:
+            source = self._sources[0]
+        else:
+            source = self._sources[pick_weighted(rng, self._cum_weights())]
+        self._jobs += 1
+        return source.plan_runs(rng)
+
+    def truth(self) -> TruthSet:
+        """The union of every source's planted pairs."""
+        pairs: list[PlantedPair] = []
+        for source in self._sources:
+            pairs.extend(source.truth_pairs())
+        return TruthSet(pairs)
+
+
+def _instance(
+    name: str,
+    ns: Namespace,
+    factory: MixFactory,
+    params: EngineParams,
+    seed: int,
+) -> ScenarioInstance:
+    """Wire a factory into an engine-backed scenario instance."""
+    return ScenarioInstance(
+        name=name,
+        description=scenario_descriptions()[name],
+        namespace=ns,
+        engine=TraceEngine(factory, params, derive_prng(seed, f"{name}-engine")),
+        params=params,
+        truth=factory.truth(),
+        attributes=DEFAULT_ATTRIBUTES,
+    )
+
+
+def _pool_programs(
+    ns: Namespace,
+    rng: PureRng,
+    count: int,
+    name_fmt: str,
+    dir_fmt: str,
+    size_lo: int,
+    size_hi: int,
+    bin_dir: str = "/usr/bin",
+    owner: Callable[[int], int | None] = lambda p: None,
+    dev: int = 0,
+) -> list[tuple[ProgramSpec, int | None]]:
+    """A pool of library-free chain programs with sized working groups.
+
+    Library-free on purpose: shared libraries would plant *many* true
+    successors per lib file and blur the answer key; each program's
+    chain is private, so the truth per source stays crisp.
+    """
+    return [
+        (
+            build_program(
+                ns,
+                program_id=p,
+                name=name_fmt.format(p=p),
+                group_dir=dir_fmt.format(p=p),
+                group_size=rng.integers(size_lo, size_hi + 1),
+                libraries=[],
+                bin_dir=bin_dir,
+                dev=dev,
+            ),
+            owner(p),
+        )
+        for p in range(count)
+    ]
+
+
+def _build_zipfian_hotspot(seed: int) -> ScenarioInstance:
+    """A hot head of chain programs dominates a zipf-popular pool."""
+    rng = derive_prng(seed, "zipfian_hotspot-population")
+    ns = Namespace()
+    entries = _pool_programs(
+        ns, rng, 16, "hot{p:02d}", "/data/app{p:02d}", 10, 14
+    )
+    user_hosts = {uid: [uid % 12] for uid in range(32)}
+    source = PoolSource(
+        entries,
+        user_hosts,
+        NoiseSpec(order_noise=0.08, revisit_rate=0.05, truncate=0.05),
+        program_zipf_s=1.2,
+        user_zipf_s=0.7,
+    )
+    params = EngineParams(
+        concurrency=8,
+        random_access_rate=0.02,
+        stat_rate=0.1,
+        burst_mean=4.0,
+    )
+    return _instance(
+        "zipfian_hotspot", ns, MixFactory(ns, [source]), params, seed
+    )
+
+
+def _build_pipeline(seed: int) -> ScenarioInstance:
+    """Producer/consumer stage chains handing files across uids."""
+    rng = derive_prng(seed, "pipeline-population")
+    ns = Namespace()
+    chains: list[Chain] = []
+    for p in range(12):
+        raw = ns.create_many(
+            f"/ingest/p{p:02d}",
+            [f"raw{i}.dat" for i in range(rng.integers(3, 5))],
+            size=4 * 1024 * 1024,
+            read_only=True,
+        )
+        handoff = ns.create(f"/stage/p{p:02d}", "handoff.dat", size=1024 * 1024)
+        work = ns.create_many(
+            f"/work/p{p:02d}",
+            [f"part{i}.tmp" for i in range(rng.integers(3, 5))],
+        )
+        final = ns.create(f"/out/p{p:02d}", "result.dat")
+        producer = (10 + p, (*raw, handoff))
+        consumer = (50 + p, (handoff, *work, final))
+        chains.append(
+            Chain(
+                chain_id=p,
+                segments=(producer, consumer),
+                hosts=(p % 6, 6 + p % 6),
+            )
+        )
+    source = ChainSource(
+        chains, NoiseSpec(order_noise=0.05, truncate=0.05), chain_zipf_s=0.9
+    )
+    params = EngineParams(
+        concurrency=8,
+        random_access_rate=0.015,
+        stat_rate=0.08,
+        burst_mean=3.0,
+    )
+    return _instance("pipeline", ns, MixFactory(ns, [source]), params, seed)
+
+
+def _build_scan_storm(seed: int) -> ScenarioInstance:
+    """Concurrent whole-directory scans interleaving into one stream."""
+    rng = derive_prng(seed, "scan_storm-population")
+    ns = Namespace()
+    chains: list[Chain] = []
+    for d in range(10):
+        files = ns.create_many(
+            f"/export/vol{d:02d}",
+            [f"obj{i:03d}" for i in range(rng.integers(18, 27))],
+            dev=1 + d % 4,
+        )
+        # one of four scanner daemons walks the directory in order
+        chains.append(
+            Chain(
+                chain_id=d,
+                segments=((200 + d % 4, tuple(files)),),
+                hosts=(d % 4,),
+            )
+        )
+    source = ChainSource(
+        chains, NoiseSpec(order_noise=0.0, truncate=0.1), chain_zipf_s=0.6
+    )
+    params = EngineParams(
+        concurrency=14,
+        random_access_rate=0.02,
+        stat_rate=0.3,
+        burst_mean=2.0,
+    )
+    return _instance("scan_storm", ns, MixFactory(ns, [source]), params, seed)
+
+
+def _build_metadata_churn(seed: int) -> ScenarioInstance:
+    """Many small per-task file sets, stat-heavy, short bursty runs."""
+    rng = derive_prng(seed, "metadata_churn-population")
+    ns = Namespace()
+    entries = _pool_programs(
+        ns,
+        rng,
+        60,
+        "task{p:02d}",
+        "/tasks/t{p:03d}",
+        4,
+        7,
+        bin_dir="/opt/tools",
+        dev=2,
+    )
+    user_hosts = {uid: [uid % 8] for uid in range(24)}
+    source = PoolSource(
+        entries,
+        user_hosts,
+        NoiseSpec(order_noise=0.1, revisit_rate=0.2, truncate=0.05),
+        program_zipf_s=0.8,
+        user_zipf_s=0.8,
+    )
+    params = EngineParams(
+        concurrency=10,
+        random_access_rate=0.02,
+        stat_rate=0.55,
+        burst_mean=2.5,
+    )
+    return _instance(
+        "metadata_churn", ns, MixFactory(ns, [source]), params, seed
+    )
+
+
+def _tenant_pool(
+    ns: Namespace,
+    rng: PureRng,
+    tenant: int,
+    n_programs: int,
+    noise: NoiseSpec,
+) -> PoolSource:
+    """One tenant: private programs, uids and hosts under its own tree."""
+    entries = [
+        (
+            build_program(
+                ns,
+                program_id=tenant * 100 + p,
+                name=f"t{tenant}app{p}",
+                group_dir=f"/tenants/t{tenant}/app{p}",
+                group_size=rng.integers(8, 13),
+                libraries=[],
+                bin_dir=f"/tenants/t{tenant}/bin",
+                dev=tenant,
+            ),
+            None,
+        )
+        for p in range(n_programs)
+    ]
+    user_hosts = {
+        tenant * 100 + u: [tenant * 4 + u % 4] for u in range(12)
+    }
+    return PoolSource(
+        entries, user_hosts, noise, program_zipf_s=1.0, user_zipf_s=0.7
+    )
+
+
+def _build_multi_tenant(seed: int) -> ScenarioInstance:
+    """Four tenants with skewed per-tenant arrival rates."""
+    rng = derive_prng(seed, "multi_tenant-population")
+    ns = Namespace()
+    noise = NoiseSpec(order_noise=0.1, revisit_rate=0.05, truncate=0.08)
+    tenants = [_tenant_pool(ns, rng, t, 6, noise) for t in range(4)]
+    rates = (8.0, 4.0, 2.0, 1.0)  # per-tenant arrival-rate skew
+    factory = MixFactory(ns, tenants, weights=rates)
+    params = EngineParams(
+        concurrency=10,
+        random_access_rate=0.02,
+        stat_rate=0.1,
+        burst_mean=3.5,
+    )
+    return _instance("multi_tenant", ns, factory, params, seed)
+
+
+def _build_diurnal(seed: int) -> ScenarioInstance:
+    """Day/night tenant mix: the active population flips each half-period.
+
+    The day tenant's namespace is created first (low fids) and the night
+    tenant's second (high fids), so a range-partitioned service sees the
+    load shift *between shards* — the regime ``auto_rebalance`` is meant
+    to absorb.
+    """
+    rng = derive_prng(seed, "diurnal-population")
+    ns = Namespace()
+    noise = NoiseSpec(order_noise=0.1, revisit_rate=0.05, truncate=0.05)
+    day = _tenant_pool(ns, rng, 0, 8, noise)
+    night = _tenant_pool(ns, rng, 1, 8, noise)
+    period = 240  # jobs per full day/night cycle (~3k events)
+
+    def shift(job_index: int) -> tuple[float, float]:
+        phase = (job_index % period) / period
+        return (0.9, 0.1) if phase < 0.5 else (0.1, 0.9)
+
+    factory = MixFactory(ns, [day, night], schedule=shift)
+    params = EngineParams(
+        concurrency=8,
+        random_access_rate=0.02,
+        stat_rate=0.1,
+        burst_mean=3.5,
+    )
+    return _instance("diurnal", ns, factory, params, seed)
+
+
+BUILDERS: dict[str, Callable[[int], ScenarioInstance]] = {
+    "zipfian_hotspot": _build_zipfian_hotspot,
+    "pipeline": _build_pipeline,
+    "scan_storm": _build_scan_storm,
+    "metadata_churn": _build_metadata_churn,
+    "multi_tenant": _build_multi_tenant,
+    "diurnal": _build_diurnal,
+}

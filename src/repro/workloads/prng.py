@@ -1,0 +1,140 @@
+"""Pure-python deterministic PRNG for the scenario suite.
+
+The four paper profiles draw from ``numpy.random.Generator``; the
+scenario generators must also run on the no-numpy CI leg, and their
+output must be identical across processes and ``PYTHONHASHSEED``
+settings (a planted truth set that drifts between machines is not a
+ground truth). :class:`PureRng` is a SplitMix64 stream exposing exactly
+the duck-typed subset of the numpy generator API that
+:class:`~repro.traces.synthetic.workload.TraceEngine` and
+:func:`~repro.traces.synthetic.programs.generate_run_sequence` consume —
+``random`` / ``integers`` / ``exponential`` / ``beta`` — so one engine
+serves both generator families.
+
+Streams are derived exactly like :func:`repro.utils.rng.derive_rng`:
+from a root seed plus a stable string label, hashed with blake2b, so
+independent scenario components never share a stream and a new
+component never perturbs an existing one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from bisect import bisect_right
+from collections.abc import Sequence
+
+__all__ = ["PureRng", "derive_prng", "zipf_cumulative", "pick_weighted"]
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+# 1/2^53: next_u64's top 53 bits give a uniform double in [0, 1)
+_INV_2_53 = 2.0**-53
+
+
+class PureRng:
+    """A SplitMix64-backed stand-in for ``numpy.random.Generator``.
+
+    Implements only what the trace engine and the run-sequence noise
+    model call; every method consumes the stream deterministically, so
+    a fixed ``(seed, label)`` reproduces the same scenario bit-for-bit
+    in any process.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & _MASK64
+
+    def next_u64(self) -> int:
+        """The raw 64-bit SplitMix64 output (advances the stream)."""
+        self._state = (self._state + _GOLDEN) & _MASK64
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return z ^ (z >> 31)
+
+    def random(self) -> float:
+        """Uniform float in ``[0, 1)``."""
+        return (self.next_u64() >> 11) * _INV_2_53
+
+    def integers(self, low: int, high: int | None = None) -> int:
+        """Uniform integer in ``[low, high)`` (numpy half-open call shape).
+
+        With ``high`` omitted the range is ``[0, low)``. The modulo
+        reduction has negligible bias for the scenario-sized ranges
+        (< 2^32) this suite draws from.
+        """
+        if high is None:
+            low, high = 0, low
+        if high <= low:
+            raise ValueError("integers needs high > low")
+        return low + self.next_u64() % (high - low)
+
+    def exponential(self, scale: float = 1.0) -> float:
+        """Exponential variate with mean ``scale`` (inter-arrival gaps)."""
+        # 1 - random() is in (0, 1]: log never sees zero
+        return -scale * math.log(1.0 - self.random())
+
+    def beta(self, a: float, b: float) -> float:
+        """Beta(a, b) variate.
+
+        The common scenario cases (``a == 1`` or ``b == 1``) invert the
+        CDF directly; the general case runs Johnk's algorithm, which is
+        deterministic given the stream.
+        """
+        if a <= 0.0 or b <= 0.0:
+            raise ValueError("beta needs a > 0 and b > 0")
+        if a == 1.0:
+            return 1.0 - (1.0 - self.random()) ** (1.0 / b)
+        if b == 1.0:
+            return self.random() ** (1.0 / a)
+        while True:
+            x = self.random() ** (1.0 / a)
+            y = self.random() ** (1.0 / b)
+            if x + y <= 1.0 and (x + y) > 0.0:
+                return x / (x + y)
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.integers(0, i + 1)
+            items[i], items[j] = items[j], items[i]
+
+
+def derive_prng(seed: int, label: str) -> PureRng:
+    """Derive the component stream for ``label`` from a root ``seed``.
+
+    Mirrors :func:`repro.utils.rng.derive_rng`'s (seed, label) contract
+    without numpy: blake2b over the pair is stable across processes and
+    interpreter hash randomization.
+    """
+    digest = hashlib.blake2b(
+        f"{seed & 0xFFFFFFFF}:{label}".encode("utf-8"), digest_size=8
+    ).digest()
+    return PureRng(int.from_bytes(digest, "little"))
+
+
+def zipf_cumulative(n: int, s: float) -> list[float]:
+    """Cumulative Zipf(s) weights over ``n`` ranks (rank 0 most popular).
+
+    The pure-python counterpart of
+    :func:`repro.traces.synthetic.workload.zipf_weights`, in the
+    cumulative form :func:`pick_weighted` consumes.
+    """
+    if n <= 0:
+        raise ValueError("zipf_cumulative needs n >= 1")
+    weights = [(rank + 1) ** (-s) for rank in range(n)]
+    total = sum(weights)
+    cum: list[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cum.append(acc)
+    cum[-1] = 1.0  # guard against float drift at the tail
+    return cum
+
+
+def pick_weighted(rng: PureRng, cumulative: Sequence[float]) -> int:
+    """Draw an index from a cumulative weight vector (sums to 1.0)."""
+    return min(bisect_right(cumulative, rng.random()), len(cumulative) - 1)

@@ -1,0 +1,236 @@
+"""Scenario DSL core: planted ground truth + the instance contract.
+
+Every scenario in this suite is a workload *with an answer key*. The HP
+trace (and the four paper profiles) let the repo verify that kernels are
+bit-identical to each other, but never that FARMER finds the
+correlations that actually exist — nothing records which adjacencies
+were planted. A :class:`ScenarioInstance` therefore carries two outputs
+side by side:
+
+* a ``TraceRecord`` stream, produced by the same interleaving
+  :class:`~repro.traces.synthetic.workload.TraceEngine` the paper
+  profiles use (so the stream has realistic multi-process pollution),
+  and
+* a machine-readable :class:`TruthSet` — the planted successor pairs
+  with their expected relative strengths — against which
+  :mod:`repro.workloads.eval` scores mined Correlator Lists with
+  precision@k / recall@k and prefetch-hit headroom.
+
+Scenarios are looked up by name through :func:`make_scenario`; the
+builders themselves live in :mod:`repro.workloads.generators` and are
+composed from shared primitives (tenant pools, phase schedules, chain
+programs), so new scenarios are a few lines of composition rather than
+a new engine.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+from repro.traces.record import TraceRecord
+from repro.traces.synthetic.namespace import Namespace
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.traces.synthetic.workload import EngineParams, TraceEngine
+
+__all__ = [
+    "PlantedPair",
+    "TruthSet",
+    "ScenarioInstance",
+    "SCENARIO_NAMES",
+    "make_scenario",
+    "generate_scenario",
+    "scenario_descriptions",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PlantedPair:
+    """One planted correlation: ``dst`` truly follows ``src``.
+
+    ``strength`` is the *expected relative* strength in ``(0, 1]`` —
+    how reliably the generator emits ``dst`` after ``src`` relative to
+    the scenario's strongest plants. It orders the oracle's candidate
+    ranking; it is not a calibrated probability.
+    """
+
+    src: int
+    dst: int
+    strength: float
+
+
+class TruthSet:
+    """The planted successor pairs of one scenario, indexed by source.
+
+    The set is machine-readable (:meth:`to_json` / :meth:`from_json`)
+    so evaluation runs can persist the answer key next to BENCH rows,
+    and composable (:meth:`union`) so multi-tenant scenarios merge
+    their tenants' plants.
+    """
+
+    __slots__ = ("_by_src", "_n_pairs")
+
+    def __init__(self, pairs: list[PlantedPair] | tuple[PlantedPair, ...]) -> None:
+        by_src: dict[int, list[PlantedPair]] = {}
+        seen: set[tuple[int, int]] = set()
+        n_pairs = 0
+        for pair in pairs:
+            if not 0.0 < pair.strength <= 1.0:
+                raise ConfigError(
+                    f"planted strength must be in (0, 1]: {pair}"
+                )
+            if pair.src == pair.dst:
+                raise ConfigError(f"self-correlation planted: {pair}")
+            key = (pair.src, pair.dst)
+            if key in seen:
+                continue  # first plant wins; unions overlap legitimately
+            seen.add(key)
+            by_src.setdefault(pair.src, []).append(pair)
+            n_pairs += 1
+        # strongest first, fid-ascending tie-break: the oracle's ranking
+        # must be deterministic and hash-seed independent
+        self._by_src = {
+            src: tuple(sorted(plist, key=lambda p: (-p.strength, p.dst)))
+            for src, plist in sorted(by_src.items())
+        }
+        self._n_pairs = n_pairs
+
+    def sources(self) -> tuple[int, ...]:
+        """All fids with at least one planted successor, ascending."""
+        return tuple(self._by_src)
+
+    def successors(self, src: int) -> tuple[PlantedPair, ...]:
+        """Planted successors of ``src``, strongest first."""
+        return self._by_src.get(src, ())
+
+    def top(self, src: int, k: int) -> list[int]:
+        """The oracle's prefetch answer: top-``k`` planted successor fids."""
+        return [p.dst for p in self._by_src.get(src, ())[:k]]
+
+    def expected(self, src: int, dst: int) -> float:
+        """Planted strength of ``(src, dst)``; 0.0 when not planted."""
+        for pair in self._by_src.get(src, ()):
+            if pair.dst == dst:
+                return pair.strength
+        return 0.0
+
+    def __contains__(self, edge: tuple[int, int]) -> bool:
+        src, dst = edge
+        return any(p.dst == dst for p in self._by_src.get(src, ()))
+
+    def __len__(self) -> int:
+        return self._n_pairs
+
+    def union(self, *others: "TruthSet") -> "TruthSet":
+        """Merge truth sets (tenant composition); first plant wins."""
+        pairs: list[PlantedPair] = [
+            p for plist in self._by_src.values() for p in plist
+        ]
+        for other in others:
+            pairs.extend(p for plist in other._by_src.values() for p in plist)
+        return TruthSet(pairs)
+
+    def to_json(self) -> str:
+        """Serialise as one JSON object: ``{src: [[dst, strength], ...]}``."""
+        payload = {
+            str(src): [[p.dst, p.strength] for p in plist]
+            for src, plist in self._by_src.items()
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TruthSet":
+        """Rebuild a truth set written by :meth:`to_json`."""
+        payload = json.loads(text)
+        pairs = [
+            PlantedPair(src=int(src), dst=int(dst), strength=float(strength))
+            for src, plist in payload.items()
+            for dst, strength in plist
+        ]
+        return cls(pairs)
+
+
+@dataclass(slots=True)
+class ScenarioInstance:
+    """A fully wired scenario: stream generator + answer key.
+
+    ``generate`` is stateful and resumable, exactly like
+    :class:`~repro.traces.synthetic.profiles.Workload`: calling it twice
+    continues the same interleaved stream, which is how the diurnal
+    rebalance tests mine one phase at a time.
+    """
+
+    name: str
+    description: str
+    namespace: Namespace
+    engine: "TraceEngine"
+    params: "EngineParams"
+    truth: TruthSet
+    attributes: tuple[str, ...]
+
+    def generate(self, n_events: int) -> list[TraceRecord]:
+        """Produce the next ``n_events`` interleaved trace records."""
+        return self.engine.generate(n_events)
+
+
+# name -> one-line description; the builder registry itself lives in
+# generators.py and is imported lazily so `import repro.workloads`
+# stays cheap and numpy-free
+_DESCRIPTIONS: dict[str, str] = {
+    "zipfian_hotspot": (
+        "a small hot set of chain programs dominates a zipf-popular pool"
+    ),
+    "pipeline": (
+        "producer/consumer stage chains handing files across directories "
+        "and uids"
+    ),
+    "scan_storm": (
+        "concurrent whole-directory scans interleaving into one stream"
+    ),
+    "metadata_churn": (
+        "many small per-task file sets, stat-heavy, short bursty runs"
+    ),
+    "multi_tenant": (
+        "four tenants with skewed per-tenant arrival rates over private "
+        "trees"
+    ),
+    "diurnal": (
+        "two tenant populations whose activity share shifts across the "
+        "stream (day/night), skewing per-shard load"
+    ),
+}
+
+SCENARIO_NAMES: tuple[str, ...] = tuple(_DESCRIPTIONS)
+
+
+def scenario_descriptions() -> dict[str, str]:
+    """``{name: one-line description}`` for every registered scenario."""
+    return dict(_DESCRIPTIONS)
+
+
+def make_scenario(name: str, seed: int = 0) -> ScenarioInstance:
+    """Build a named scenario (see :data:`SCENARIO_NAMES`).
+
+    Raises:
+        ConfigError: for an unknown scenario name.
+    """
+    from repro.workloads import generators
+
+    try:
+        builder = generators.BUILDERS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scenario {name!r}; expected one of {SCENARIO_NAMES}"
+        ) from None
+    return builder(seed)
+
+
+def generate_scenario(
+    name: str, n_events: int, seed: int = 0
+) -> tuple[list[TraceRecord], TruthSet]:
+    """Generate ``n_events`` records of a named scenario plus its truth."""
+    instance = make_scenario(name, seed=seed)
+    return instance.generate(n_events), instance.truth

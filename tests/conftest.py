@@ -60,6 +60,31 @@ def synthetic_trace():
     return cached_trace
 
 
+# same generate-once discipline for the planted-truth scenarios: the
+# workload suites (floors, kernel parity, eval unit tests) score the
+# same streams, so each (name, events, seed) is generated exactly once
+# per session. Numpy-free: safe for the no-numpy test subset.
+_SCENARIO_CACHE: dict[tuple, tuple] = {}
+
+
+def cached_scenario(name: str, n_events: int = 3000, seed: int = 0):
+    """``(records, truth)`` of a named scenario, cached per session."""
+    key = (name, n_events, seed)
+    if key not in _SCENARIO_CACHE:
+        from repro.workloads import make_scenario
+
+        instance = make_scenario(name, seed=seed)
+        _SCENARIO_CACHE[key] = (instance.generate(n_events), instance.truth)
+    return _SCENARIO_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def scenario_trace():
+    """Factory fixture over the session scenario cache:
+    ``scenario_trace("pipeline", 3000) -> (records, truth)``."""
+    return cached_scenario
+
+
 @pytest.fixture(scope="session")
 def hp_trace_20k():
     """The canonical 20k-record HP trace (seed 13) the acceptance

@@ -18,7 +18,7 @@ sys.path.insert(0, str(REPO / "tools"))
 from check_docs import check_markdown, extract_blocks  # noqa: E402
 from check_docstrings import check_file  # noqa: E402
 
-DOCS = ("architecture.md", "equivalence.md", "benchmarks.md")
+DOCS = ("architecture.md", "equivalence.md", "benchmarks.md", "workloads.md")
 
 
 class TestDocsExist:
@@ -90,10 +90,10 @@ class TestDocBlocksRun:
 
 
 class TestDocstringSurface:
-    @pytest.mark.parametrize("package", ["service", "storage"])
+    @pytest.mark.parametrize("package", ["service", "storage", "workloads"])
     def test_public_surface_documented(self, package):
         """Satellite: every public module/class/function/method in the
-        service and storage packages carries a docstring."""
+        service, storage and workloads packages carries a docstring."""
         problems = []
         for file in sorted((REPO / "src" / "repro" / package).rglob("*.py")):
             problems.extend(check_file(file))

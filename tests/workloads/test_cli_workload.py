@@ -1,0 +1,51 @@
+"""The ``repro workload`` CLI subcommand."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import build_parser, main
+from repro.workloads import SCENARIO_NAMES
+
+
+def test_parser_accepts_workload():
+    args = build_parser().parse_args(
+        ["workload", "pipeline", "--events", "900", "--shards", "2"]
+    )
+    assert args.command == "workload"
+    assert args.scenarios == ["pipeline"]
+    assert args.shards == 2
+
+
+def test_list_scenarios(capsys):
+    assert main(["workload", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in SCENARIO_NAMES:
+        assert name in out
+
+
+def test_evaluate_one_scenario_table(capsys):
+    assert main(["workload", "pipeline", "--events", "900"]) == 0
+    out = capsys.readouterr().out
+    assert "pipeline" in out
+    assert "p@1" in out and "headroom" in out
+
+
+def test_evaluate_json_rows(capsys):
+    assert (
+        main(["workload", "scan_storm", "--events", "900", "--json"]) == 0
+    )
+    row = json.loads(capsys.readouterr().out.strip())
+    assert row["scenario"] == "scan_storm"
+    assert 0.0 <= row["precision_at_1"] <= 1.0
+    assert row["n_events"] == 900
+
+
+def test_unknown_scenario_fails(capsys):
+    assert main(["workload", "bogus"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_bad_ks_fails(capsys):
+    assert main(["workload", "pipeline", "--ks", "1,x"]) == 2
+    assert "--ks" in capsys.readouterr().err

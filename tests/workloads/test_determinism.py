@@ -1,0 +1,66 @@
+"""Satellite property: scenarios are process- and hash-seed-invariant.
+
+A planted truth set that drifts between machines is not a ground
+truth. Each scenario generator must emit the identical record stream
+and identical truth JSON in a child process running under a different
+``PYTHONHASHSEED`` — the same discipline the consistent-hash router
+pins. One child covers all scenarios (one interpreter start-up, not
+six).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.workloads import SCENARIO_NAMES, generate_scenario
+
+EVENTS = 600
+
+_CHILD = """\
+import hashlib
+from repro.workloads import SCENARIO_NAMES, generate_scenario
+
+for name in SCENARIO_NAMES:
+    records, truth = generate_scenario(name, {events}, seed=11)
+    h = hashlib.blake2b(digest_size=16)
+    for r in records:
+        h.update(repr(r).encode())
+    h.update(truth.to_json().encode())
+    print(name, h.hexdigest())
+"""
+
+
+def _digests_here() -> dict[str, str]:
+    out = {}
+    for name in SCENARIO_NAMES:
+        records, truth = generate_scenario(name, EVENTS, seed=11)
+        h = hashlib.blake2b(digest_size=16)
+        for r in records:
+            h.update(repr(r).encode())
+        h.update(truth.to_json().encode())
+        out[name] = h.hexdigest()
+    return out
+
+
+def _digests_in_child(hash_seed: str) -> dict[str, str]:
+    src = Path(__file__).resolve().parents[2] / "src"
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD.format(events=EVENTS)],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={"PYTHONPATH": str(src), "PYTHONHASHSEED": hash_seed},
+    )
+    return dict(
+        line.split() for line in out.stdout.strip().splitlines()
+    )
+
+
+def test_scenarios_identical_across_hash_seeds():
+    here = _digests_here()
+    assert set(here) == set(SCENARIO_NAMES)
+    for hash_seed in ("0", "4242"):
+        assert _digests_in_child(hash_seed) == here

@@ -1,0 +1,93 @@
+"""Satellite property: auto_rebalance tracks the diurnal load shift.
+
+The diurnal scenario creates the day tenant's namespace first (low
+fids) and the night tenant's second (high fids), so a range-partitioned
+two-shard service maps the tenants onto different shards. As the
+activity mix flips between phases, ``auto_rebalance`` must (a) read
+the windowed load skew, (b) install ring weights monotone decreasing
+in that load — the hot shard sheds namespace — and (c) leave every
+query invariant across the decision.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import FarmerConfig
+from repro.service.router import RangeShardRouter
+from repro.service.sharded import ShardedFarmer
+from repro.workloads import make_scenario
+
+PHASE_EVENTS = 1500
+
+
+def _day_night_boundary(instance) -> int:
+    day = [
+        f.fid
+        for f in instance.namespace.files()
+        if f.path.startswith("/tenants/t0")
+    ]
+    night = [
+        f.fid
+        for f in instance.namespace.files()
+        if f.path.startswith("/tenants/t1")
+    ]
+    assert max(day) < min(night)  # creation order = fid order
+    return max(day)
+
+
+def test_auto_rebalance_tracks_diurnal_shift():
+    instance = make_scenario("diurnal", seed=0)
+    boundary = _day_night_boundary(instance)
+    config = FarmerConfig(n_shards=2, attributes=instance.attributes)
+    service = ShardedFarmer(
+        config, router=RangeShardRouter(2, boundaries=(boundary,))
+    )
+
+    # phase A: day-dominated. Shard 0 (the day tenant's fid range)
+    # must absorb the bulk of the load, and the decision must respond
+    # by shrinking its ring share.
+    day_phase = instance.generate(PHASE_EVENTS)
+    service.mine(day_phase)
+    loads_a = service.shard_loads(since_decision=True)
+    assert loads_a[0] > loads_a[1]
+
+    probes = sorted({r.fid for r in day_phase})[:40]
+    before = {fid: service.predict(fid, 4) for fid in probes}
+    auto_a = service.auto_rebalance()
+    assert auto_a.loads == loads_a
+    assert auto_a.weights[0] < auto_a.weights[1]  # hot day shard sheds
+    after = {fid: service.predict(fid, 4) for fid in probes}
+    assert after == before  # queries invariant across the decision
+
+    # phase B: the mix flips toward night. The *windowed* load (only
+    # what arrived since decision A) must show the flip, and the next
+    # decision must weight against whichever shard is now hottest —
+    # lifetime counters would still blame the day shard.
+    night_phase = instance.generate(PHASE_EVENTS)
+    for record in night_phase:
+        service.observe(record)
+    loads_b = service.shard_loads(since_decision=True)
+    hot = loads_b.index(max(loads_b))
+    auto_b = service.auto_rebalance()
+    assert auto_b.loads == loads_b
+    assert auto_b.weights.index(min(auto_b.weights)) == hot
+
+    # the decisions must have been live, not degenerate no-ops
+    assert sum(loads_b) > 0
+    assert auto_b.rebalance.n_owned > 0
+
+
+def test_rebalance_preserves_every_mined_list():
+    """Stronger invariance: every fid's full prediction list survives
+    the auto-rebalance migration bit-identically (not just probes)."""
+    instance = make_scenario("diurnal", seed=1)
+    boundary = _day_night_boundary(instance)
+    config = FarmerConfig(n_shards=2, attributes=instance.attributes)
+    service = ShardedFarmer(
+        config, router=RangeShardRouter(2, boundaries=(boundary,))
+    )
+    records = instance.generate(2000)
+    service.mine(records)
+    fids = sorted({r.fid for r in records})
+    before = {fid: service.predict(fid, 4) for fid in fids}
+    service.auto_rebalance()
+    assert {fid: service.predict(fid, 4) for fid in fids} == before

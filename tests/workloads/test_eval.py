@@ -1,0 +1,127 @@
+"""The evaluation layer: metric semantics, floors, miner parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import (
+    SCENARIO_NAMES,
+    evaluate_scenario,
+    make_scenario,
+    mine_scenario,
+    score_miner,
+)
+from repro.workloads.eval import (
+    ACCURACY_FLOORS,
+    DEFAULT_EVENTS,
+    KMetrics,
+    ScenarioReport,
+    check_floors,
+)
+
+
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+def test_accuracy_floors_hold(name):
+    """The CI-pinned assertion: every scenario clears its floor at the
+    canonical event count. A miner regression (broken blend, truncated
+    window, mis-ranked lists) trips this before it ships."""
+    report = evaluate_scenario(name, n_events=DEFAULT_EVENTS, seed=0)
+    assert check_floors(report) == []
+
+
+def test_floors_cover_every_scenario():
+    assert set(ACCURACY_FLOORS) == set(SCENARIO_NAMES)
+    for floors in ACCURACY_FLOORS.values():
+        assert floors  # an empty floor row would assert nothing
+
+
+class _OracleMiner:
+    """Predicts straight from the truth set — the score ceiling."""
+
+    def __init__(self, truth):
+        self._truth = truth
+
+    def predict(self, fid, k=None):
+        return self._truth.top(fid, k if k is not None else 4)
+
+
+def test_oracle_scores_perfectly(scenario_trace):
+    records, truth = scenario_trace("pipeline", 1200)
+    report = score_miner(
+        _OracleMiner(truth), truth, records, scenario="pipeline"
+    )
+    for m in report.metrics:
+        assert m.precision == 1.0
+        assert m.recall == 1.0
+    assert report.headroom == 0.0  # the oracle *is* the mined predictor
+
+
+def test_report_accessors_and_dict():
+    report = ScenarioReport(
+        scenario="x",
+        n_events=10,
+        n_truth_pairs=2,
+        n_scored_sources=1,
+        metrics=(KMetrics(k=1, precision=0.5, recall=0.25),),
+        oracle_hit_rate=0.4,
+        mined_hit_rate=0.3,
+    )
+    assert report.at(1).precision == 0.5
+    with pytest.raises(ConfigError, match="no metrics at k=7"):
+        report.at(7)
+    row = report.to_dict()
+    assert row["precision_at_1"] == 0.5
+    assert row["recall_at_1"] == 0.25
+    assert row["headroom"] == pytest.approx(0.1)
+
+
+def test_check_floors_reports_violations():
+    report = ScenarioReport(
+        scenario="pipeline",
+        n_events=10,
+        n_truth_pairs=2,
+        n_scored_sources=1,
+        metrics=(KMetrics(k=1, precision=0.1, recall=0.1),),
+        oracle_hit_rate=0.0,
+        mined_hit_rate=0.0,
+    )
+    violations = check_floors(report)
+    assert any("precision_at_1" in v for v in violations)
+    # recall_at_4 was never evaluated: flagged, not silently passed
+    assert any("recall_at_4" in v for v in violations)
+    assert check_floors(report, floors={"pipeline": {}}) == []
+
+
+def test_score_miner_needs_at_least_one_k(scenario_trace):
+    records, truth = scenario_trace("pipeline", 1200)
+    with pytest.raises(ConfigError, match="at least one k"):
+        score_miner(_OracleMiner(truth), truth, records, ks=())
+
+
+def test_sharded_eval_matches_online_eval(scenario_trace):
+    """Online ingestion (ReplayAgent -> admission queue -> drain) must
+    score identically to batch ShardedFarmer.mine — the scenario-suite
+    restatement of the drain-equivalence guarantee."""
+    records, truth = scenario_trace("multi_tenant", 2000)
+    batch = score_miner(
+        mine_scenario(records, n_shards=4), truth, records, scenario="mt"
+    )
+    online = score_miner(
+        mine_scenario(records, n_shards=4, online=True),
+        truth,
+        records,
+        scenario="mt",
+    )
+    assert batch == online
+
+
+def test_single_shard_eval_paths_agree(scenario_trace):
+    """evaluate_scenario is just make+mine+score: composing the pieces
+    by hand must give the identical report."""
+    records, truth = scenario_trace("zipfian_hotspot", 2000)
+    composed = score_miner(
+        mine_scenario(records), truth, records, scenario="zipfian_hotspot"
+    )
+    wrapped = evaluate_scenario("zipfian_hotspot", n_events=2000, seed=0)
+    assert composed == wrapped
