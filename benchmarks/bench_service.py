@@ -623,3 +623,53 @@ def bench_parallel_vs_sequential_wall_clock(
             for run in cmp_.runs
         },
     )
+
+
+def bench_tiering_showdown(benchmark, hp_bench_trace, bench_record):
+    """Tier-placement showdown at equal tier budgets (ext_tiering).
+
+    HP@4MDS at a tight fast-tier budget plus one planted-truth scenario:
+    the correlated policy (co-promoting mined correlators, cross-server
+    placement hints included) must beat both temporal-locality baselines
+    on fast-hit ratio. The recorded rows are the BENCH_service.json
+    trajectory for the tiering subsystem.
+    """
+    from repro.experiments.tiering_experiment import cached_scenario, tiered_report
+
+    def correlated():
+        return tiered_report(hp_bench_trace, "correlated", 0.05)
+
+    hp = {"correlated": benchmark.pedantic(correlated, rounds=2, iterations=1)}
+    for policy in ("lru", "lfu"):
+        hp[policy] = tiered_report(hp_bench_trace, policy, 0.05)
+    scenario_records, _ = cached_scenario("pipeline", len(hp_bench_trace), 1)
+    scen = {
+        policy: tiered_report(scenario_records, policy, 0.1, seed=1)
+        for policy in ("lru", "lfu", "correlated")
+    }
+    print(
+        "\n[fast-hit hp@0.05: "
+        + " ".join(f"{p}={hp[p].fast_hit_ratio:.3f}" for p in hp)
+        + " | pipeline@0.1: "
+        + " ".join(f"{p}={scen[p].fast_hit_ratio:.3f}" for p in scen)
+        + "]"
+    )
+    for group in (hp, scen):
+        assert group["correlated"].fast_hit_ratio > group["lru"].fast_hit_ratio
+        assert group["correlated"].fast_hit_ratio > group["lfu"].fast_hit_ratio
+    assert hp["correlated"].tier_hints_forwarded > 0
+    bench_record(
+        **{
+            f"tiering_hp_{p}_fast_hit": hp[p].fast_hit_ratio for p in hp
+        },
+        **{
+            f"tiering_pipeline_{p}_fast_hit": scen[p].fast_hit_ratio
+            for p in scen
+        },
+        tiering_hp_correlated_hints=hp["correlated"].tier_hints_forwarded,
+        tiering_hp_correlated_promotions=hp["correlated"].tier_promotions,
+        tiering_hp_correlated_demotions=hp["correlated"].tier_demotions,
+        tiering_hp_correlated_mean_response_us=(
+            hp["correlated"].mean_response_ns / 1e3
+        ),
+    )

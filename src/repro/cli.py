@@ -12,6 +12,8 @@ Usage::
     farmer-repro serve --shards 4 --replicate --tail /var/log/trace.jsonl
     farmer-repro workload --events 6000
     farmer-repro workload diurnal --shards 4 --json
+    farmer-repro storage --tiering correlated --tier-frac 0.1
+    farmer-repro storage pipeline --tiering all --json
 
 or equivalently ``python -m repro ...``. The ``service`` subcommand
 measures the sharded mining service against the single-miner baseline
@@ -274,6 +276,56 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="as_json",
         help="emit one JSON object per scenario instead of the table",
+    )
+
+    st_p = sub.add_parser(
+        "storage",
+        help=(
+            "run the tiered-storage placement showdown: fast-tier hit "
+            "ratio of lru / lfu / correlated at one tier budget"
+        ),
+    )
+    st_p.add_argument(
+        "workload",
+        nargs="?",
+        default="hp",
+        help=(
+            "trace profile (hp, ins, ...) or planted-truth scenario name "
+            "(default hp)"
+        ),
+    )
+    st_p.add_argument(
+        "--tiering",
+        choices=("lru", "lfu", "correlated", "all"),
+        default="all",
+        help="tier policy to run (default: all three, as a showdown)",
+    )
+    st_p.add_argument(
+        "--tier-frac",
+        type=float,
+        default=0.1,
+        dest="tier_frac",
+        help="fast-tier capacity as a fraction of each server's objects",
+    )
+    st_p.add_argument(
+        "--tier-k",
+        type=int,
+        default=4,
+        dest="tier_k",
+        help="correlators co-promoted per access (correlated policy)",
+    )
+    st_p.add_argument(
+        "--events", type=int, default=2500, help="trace events to replay"
+    )
+    st_p.add_argument("--seed", type=int, default=1, help="trace seed")
+    st_p.add_argument(
+        "--mds", type=int, default=4, help="metadata server count"
+    )
+    st_p.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit one JSON object per policy instead of the table",
     )
 
     serve_p = sub.add_parser(
@@ -783,6 +835,104 @@ def _run_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_storage(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ConfigError
+    from repro.experiments.common import cached_trace
+    from repro.experiments.tiering_experiment import (
+        TIER_POLICY_NAMES,
+        cached_scenario,
+        tiered_report,
+    )
+    from repro.workloads import SCENARIO_NAMES
+
+    if args.workload in SCENARIO_NAMES:
+        records, _ = cached_scenario(args.workload, args.events, args.seed)
+        trace = "hp"  # miner attribute set for scenario streams
+    else:
+        try:
+            records = cached_trace(args.workload, args.events, args.seed)
+        except (ConfigError, KeyError) as exc:
+            print(f"unknown workload {args.workload!r}: {exc}", file=sys.stderr)
+            return 2
+        trace = args.workload
+    policies = (
+        TIER_POLICY_NAMES if args.tiering == "all" else (args.tiering,)
+    )
+    results = []
+    for policy in policies:
+        try:
+            report = tiered_report(
+                records,
+                policy,
+                args.tier_frac,
+                n_mds=args.mds,
+                tier_k=args.tier_k,
+                seed=args.seed,
+                trace=trace,
+            )
+        except ConfigError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        results.append((policy, report))
+    if args.as_json:
+        for policy, r in results:
+            print(
+                json.dumps(
+                    {
+                        "workload": args.workload,
+                        "policy": policy,
+                        "tier_fraction": args.tier_frac,
+                        "tier_k": args.tier_k,
+                        "n_mds": args.mds,
+                        "events": args.events,
+                        "seed": args.seed,
+                        "fast_hit_ratio": round(r.fast_hit_ratio, 6),
+                        "tier_promotions": r.tier_promotions,
+                        "tier_co_promotions": r.tier_co_promotions,
+                        "tier_demotions": r.tier_demotions,
+                        "tier_hints_forwarded": r.tier_hints_forwarded,
+                        "mean_response_us": round(r.mean_response_ns / 1e3, 3),
+                    },
+                    sort_keys=True,
+                )
+            )
+        return 0
+    print(
+        f"tiered storage showdown on {args.workload!r} "
+        f"(events={args.events}, seed={args.seed}, mds={args.mds}, "
+        f"tier_frac={args.tier_frac}, tier_k={args.tier_k})"
+    )
+    rows = [
+        (
+            policy,
+            f"{r.fast_hit_ratio:.3f}",
+            str(r.tier_promotions),
+            str(r.tier_co_promotions),
+            str(r.tier_demotions),
+            str(r.tier_hints_forwarded),
+            f"{r.mean_response_ns / 1e3:.1f}",
+        )
+        for policy, r in results
+    ]
+    print(
+        format_table(
+            (
+                "policy",
+                "fast hit",
+                "promos",
+                "co-promos",
+                "demos",
+                "hints",
+                "mean resp us",
+            ),
+            rows,
+        )
+    )
+    return 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
@@ -982,6 +1132,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_service(args)
     if args.command == "workload":
         return _run_workload(args)
+    if args.command == "storage":
+        return _run_storage(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "all":

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.errors import UnknownExperimentError
 from repro.experiments import ablations, extensions, fig1, fig3, fig5, fig6, fig7, fig8
 from repro.experiments import layout_experiment, service_experiment, table2, table3, table4
+from repro.experiments import tiering_experiment
 from repro.experiments.common import Experiment, ExperimentResult
 
 __all__ = ["EXPERIMENTS", "get_experiment", "run_experiment", "experiment_ids"]
@@ -28,6 +29,7 @@ EXPERIMENTS: dict[str, Experiment] = {
         extensions.EXPERIMENT_PREDICTORS,
         extensions.EXPERIMENT_REGRESSION,
         service_experiment.EXPERIMENT,
+        tiering_experiment.EXPERIMENT,
     )
 }
 

@@ -1,51 +1,99 @@
 """The HUSt-like storage substrate: event engine, LRU metadata cache,
 Berkeley-DB-substitute KV store, dual priority queues, metadata servers,
 object storage devices, trace-replay clients and the cluster wiring.
+
+Exports resolve lazily (PEP 562) so the numpy-free submodules — the
+tiering policies, the object storage device, the cache, queues and KV
+store — stay importable on a bare interpreter; only touching a
+simulation-layer name (cluster, MDS, latency model, replay client)
+pulls in the numpy-backed modules.
 """
 
-from repro.storage.cache import CacheEntry, LRUCache
-from repro.storage.client import TraceReplayClient
-from repro.storage.cluster import HustCluster, SimulationConfig, run_simulation
-from repro.storage.engine import EventLoop
-from repro.storage.kvstore import BTreeKVStore
-from repro.storage.latency import LatencyModel
-from repro.storage.mds import MetadataServer
-from repro.storage.metrics import MetricsCollector, SimulationReport
-from repro.storage.osd import Extent, ObjectStorageDevice, ReadCost
-from repro.storage.prefetch import (
-    FarmerPrefetcher,
-    MdsShardView,
-    NoPrefetcher,
-    PredictorPrefetcher,
-    PrefetchEngine,
-    ShardedFarmerPrefetcher,
-)
-from repro.storage.queues import DualRequestQueue
-from repro.storage.requests import MetadataRequest, RequestKind
+from __future__ import annotations
 
-__all__ = [
-    "CacheEntry",
-    "LRUCache",
-    "TraceReplayClient",
-    "HustCluster",
-    "SimulationConfig",
-    "run_simulation",
-    "EventLoop",
-    "BTreeKVStore",
-    "LatencyModel",
-    "MetadataServer",
-    "MetricsCollector",
-    "SimulationReport",
-    "Extent",
-    "ObjectStorageDevice",
-    "ReadCost",
-    "FarmerPrefetcher",
-    "MdsShardView",
-    "NoPrefetcher",
-    "PredictorPrefetcher",
-    "PrefetchEngine",
-    "ShardedFarmerPrefetcher",
-    "DualRequestQueue",
-    "MetadataRequest",
-    "RequestKind",
-]
+import importlib
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.cache import CacheEntry, LRUCache
+    from repro.storage.client import TraceReplayClient
+    from repro.storage.cluster import HustCluster, SimulationConfig, run_simulation
+    from repro.storage.engine import EventLoop
+    from repro.storage.kvstore import BTreeKVStore
+    from repro.storage.latency import LatencyModel
+    from repro.storage.mds import MetadataServer
+    from repro.storage.metrics import MetricsCollector, SimulationReport
+    from repro.storage.osd import Extent, ObjectStorageDevice, ReadCost
+    from repro.storage.prefetch import (
+        FarmerPrefetcher,
+        MdsShardView,
+        NoPrefetcher,
+        PredictorPrefetcher,
+        PrefetchEngine,
+        ShardedFarmerPrefetcher,
+    )
+    from repro.storage.queues import DualRequestQueue
+    from repro.storage.requests import MetadataRequest, RequestKind
+    from repro.storage.tiering import (
+        TIER_POLICIES,
+        CorrelatedTierPolicy,
+        LfuTierPolicy,
+        LruTierPolicy,
+        TieredStore,
+        TierPolicy,
+        make_tier_policy,
+    )
+
+#: export name -> owning submodule
+_EXPORTS = {
+    "CacheEntry": "cache",
+    "LRUCache": "cache",
+    "TraceReplayClient": "client",
+    "HustCluster": "cluster",
+    "SimulationConfig": "cluster",
+    "run_simulation": "cluster",
+    "EventLoop": "engine",
+    "BTreeKVStore": "kvstore",
+    "LatencyModel": "latency",
+    "MetadataServer": "mds",
+    "MetricsCollector": "metrics",
+    "SimulationReport": "metrics",
+    "Extent": "osd",
+    "ObjectStorageDevice": "osd",
+    "ReadCost": "osd",
+    "FarmerPrefetcher": "prefetch",
+    "MdsShardView": "prefetch",
+    "NoPrefetcher": "prefetch",
+    "PredictorPrefetcher": "prefetch",
+    "PrefetchEngine": "prefetch",
+    "ShardedFarmerPrefetcher": "prefetch",
+    "DualRequestQueue": "queues",
+    "MetadataRequest": "requests",
+    "RequestKind": "requests",
+    "TIER_POLICIES": "tiering",
+    "CorrelatedTierPolicy": "tiering",
+    "LfuTierPolicy": "tiering",
+    "LruTierPolicy": "tiering",
+    "TieredStore": "tiering",
+    "TierPolicy": "tiering",
+    "make_tier_policy": "tiering",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str) -> object:
+    """Resolve an export on first touch and cache it on the package."""
+    try:
+        submodule = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(importlib.import_module(f"{__name__}.{submodule}"), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -14,11 +14,21 @@ actually stores. With ``SimulationConfig.routed_prefetch`` the non-local
 candidates are not dropped but forwarded to the owning server's prefetch
 queue (bounded per request by ``forward_budget``), capturing the
 remaining cross-shard prefetch benefit.
+
+With ``SimulationConfig.tiering`` each MDS additionally fronts its
+metadata objects with a tiered object store
+(:mod:`repro.storage.tiering`): a fast tier sized to ``tier_fraction``
+of the server's objects, driven by the named placement policy. Demand
+misses are charged a per-tier object read, and the correlated policy's
+cross-server placement hints ride the same peer seam as routed prefetch
+(bounded by ``forward_budget``, but active independently of
+``routed_prefetch`` so tiering never silently changes the prefetch
+comparison).
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
@@ -28,7 +38,9 @@ from repro.storage.kvstore import BTreeKVStore
 from repro.storage.latency import LatencyModel
 from repro.storage.mds import MetadataServer
 from repro.storage.metrics import MetricsCollector, SimulationReport
+from repro.storage.osd import ObjectStorageDevice
 from repro.storage.prefetch import PrefetchEngine
+from repro.storage.tiering import TIER_POLICIES, TieredStore, TierPolicy, make_tier_policy
 from repro.traces.record import TraceRecord
 from repro.utils.rng import derive_rng
 
@@ -55,7 +67,14 @@ class SimulationConfig:
             (the sharded service's per-MDS views do).
         forward_budget: max candidates forwarded per completed demand
             request (bounds the cross-server control traffic the same
-            way ``prefetch_limit`` bounds the speculative load).
+            way ``prefetch_limit`` bounds the speculative load). Also
+            bounds per-request tier placement hints when tiering is on.
+        tiering: tier-placement policy name (``lru`` / ``lfu`` /
+            ``correlated``) or None for an untiered cluster.
+        tier_fraction: fast-tier capacity as a fraction of each server's
+            object count (at least one slot per server).
+        tier_k: correlators co-promoted per access by the ``correlated``
+            policy.
     """
 
     cache_capacity: int = 256
@@ -66,6 +85,9 @@ class SimulationConfig:
     seed: int = 0
     routed_prefetch: bool = False
     forward_budget: int = 4
+    tiering: str | None = None
+    tier_fraction: float = 0.1
+    tier_k: int = 4
 
     def __post_init__(self) -> None:
         if self.cache_capacity < 1:
@@ -78,6 +100,15 @@ class SimulationConfig:
             raise ConfigError("time_scale must be positive")
         if self.forward_budget < 0:
             raise ConfigError("forward_budget must be >= 0")
+        if self.tiering is not None and self.tiering not in TIER_POLICIES:
+            raise ConfigError(
+                f"unknown tier policy {self.tiering!r}; expected one of "
+                f"{', '.join(sorted(TIER_POLICIES))}"
+            )
+        if not 0.0 < self.tier_fraction <= 1.0:
+            raise ConfigError("tier_fraction must be in (0, 1]")
+        if self.tier_k < 0:
+            raise ConfigError("tier_k must be >= 0")
 
 
 def _metadata_value(record: TraceRecord) -> dict:
@@ -92,11 +123,24 @@ def _metadata_value(record: TraceRecord) -> dict:
 
 
 class HustCluster:
-    """A wired cluster ready to replay traces."""
+    """A wired cluster ready to replay traces.
 
-    def __init__(self, config: SimulationConfig, prefetcher: PrefetchEngine) -> None:
+    ``tier_policy_factory`` overrides ``config.tiering``'s named policy
+    with a custom one per server (capacity in, policy out) — the oracle
+    headroom bound builds a correlated policy whose candidate source is
+    the planted truth instead of the miner.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        prefetcher: PrefetchEngine,
+        tier_policy_factory: Callable[[int], TierPolicy] | None = None,
+    ) -> None:
         self.config = config
         self.prefetcher = prefetcher
+        self.tier_policy_factory = tier_policy_factory
+        self.tiered = config.tiering is not None or tier_policy_factory is not None
         self.engine = EventLoop()
         self.metrics = MetricsCollector()
         jitter_rng = (
@@ -118,12 +162,14 @@ class HustCluster:
                 forward_budget=(
                     config.forward_budget if config.routed_prefetch else 0
                 ),
+                hint_budget=(config.forward_budget if self.tiered else 0),
             )
             for i in range(config.n_mds)
         ]
-        if config.routed_prefetch and config.n_mds > 1:
+        if (config.routed_prefetch or self.tiered) and config.n_mds > 1:
             # peers[i] stores the fids with fid % n_mds == i, matching
-            # route(); forwarding needs every server to reach the owner
+            # route(); forwarding (prefetches or placement hints) needs
+            # every server to reach the owner
             for server in self.servers:
                 server.peers = self.servers
 
@@ -141,14 +187,51 @@ class HustCluster:
         return self.servers[fid % len(self.servers)]
 
     def preload(self, records: Sequence[TraceRecord]) -> int:
-        """Populate each MDS's store shard with every file's metadata."""
+        """Populate each MDS's store shard with every file's metadata.
+
+        With tiering on, also builds each server's
+        :class:`~repro.storage.tiering.TieredStore`: every local object
+        starts on the slow tier (first-seen trace order), and the fast
+        tier is sized to ``tier_fraction`` of the server's object count
+        (at least one slot). Idempotent for the tier — a second preload
+        keeps the existing store.
+        """
         seen: set[int] = set()
+        per_server: list[list[tuple[int, int]]] = [[] for _ in self.servers]
         for record in records:
             if record.fid in seen:
                 continue
             seen.add(record.fid)
-            self.route(record.fid).kvstore.put(record.fid, _metadata_value(record))
+            server_index = record.fid % len(self.servers)
+            self.servers[server_index].kvstore.put(
+                record.fid, _metadata_value(record)
+            )
+            per_server[server_index].append((record.fid, record.size))
+        if self.tiered:
+            for server, placements in zip(self.servers, per_server):
+                if server.tier is None:
+                    server.tier = self._build_tier(server.name, placements)
         return len(seen)
+
+    def _make_tier_policy(self, capacity: int) -> TierPolicy:
+        if self.tier_policy_factory is not None:
+            return self.tier_policy_factory(capacity)
+        return make_tier_policy(
+            self.config.tiering, capacity, k=self.config.tier_k
+        )
+
+    def _build_tier(
+        self, server_name: str, placements: list[tuple[int, int]]
+    ) -> TieredStore:
+        capacity = max(1, round(self.config.tier_fraction * len(placements)))
+        policy = self._make_tier_policy(capacity)
+        device = ObjectStorageDevice(
+            name=f"{server_name}-osd", fast_capacity=policy.capacity
+        )
+        store = TieredStore(device, policy, self.metrics)
+        for fid, size in placements:
+            store.place(fid, max(1024, size))
+        return store
 
     def run(self, records: Sequence[TraceRecord]) -> SimulationReport:
         """Preload, replay the full trace, and return the report."""
@@ -166,7 +249,12 @@ def run_simulation(
     records: Sequence[TraceRecord],
     prefetcher: PrefetchEngine,
     config: SimulationConfig | None = None,
+    tier_policy_factory: Callable[[int], TierPolicy] | None = None,
 ) -> SimulationReport:
     """Replay ``records`` through a fresh cluster with ``prefetcher``."""
-    cluster = HustCluster(config if config is not None else SimulationConfig(), prefetcher)
+    cluster = HustCluster(
+        config if config is not None else SimulationConfig(),
+        prefetcher,
+        tier_policy_factory=tier_policy_factory,
+    )
     return cluster.run(records)

@@ -9,7 +9,11 @@ configurable constants plus optional lognormal jitter:
 * a prefetch item is cheaper than a demand miss because correlated
   metadata is batch-read with cursor locality (§4.2's layout argument);
 * the miner charges a small per-request overhead (FARMER's "reasonable
-  overhead" claim is measured, not assumed).
+  overhead" claim is measured, not assumed);
+* with tiered storage (:mod:`repro.storage.tiering`), every demand
+  additionally reads the object from its tier: a fast-tier (flash)
+  resident costs ``fast_tier_ns``, a slow-tier resident the much larger
+  ``slow_tier_ns`` — the gap is what a placement policy competes over.
 
 Absolute values are not the point — EXPERIMENTS.md compares shapes and
 ratios, which are governed by hit ratios and queueing, not by constants.
@@ -36,6 +40,12 @@ class LatencyModel:
         prefetch_item_ns: service time for one prefetched entry.
         network_ns: one-way client<->MDS latency added to every response.
         jitter_sigma: lognormal sigma; 0 disables jitter entirely.
+        fast_tier_ns: tiered object read when the object is fast-tier
+            resident (charged on every demand request, but only when
+            the cluster runs with ``SimulationConfig.tiering``).
+        slow_tier_ns: tiered object read from the slow tier; must be at
+            least ``fast_tier_ns`` (a "fast" tier slower than the slow
+            one is a misconfiguration, not a policy).
     """
 
     cache_hit_ns: int = 25_000
@@ -43,6 +53,8 @@ class LatencyModel:
     prefetch_item_ns: int = 180_000
     network_ns: int = 0
     jitter_sigma: float = 0.0
+    fast_tier_ns: int = 60_000
+    slow_tier_ns: int = 650_000
 
     def __post_init__(self) -> None:
         if min(self.cache_hit_ns, self.kv_lookup_ns, self.prefetch_item_ns) <= 0:
@@ -51,6 +63,10 @@ class LatencyModel:
             raise ConfigError("network_ns must be >= 0")
         if self.jitter_sigma < 0:
             raise ConfigError("jitter_sigma must be >= 0")
+        if self.fast_tier_ns <= 0 or self.slow_tier_ns <= 0:
+            raise ConfigError("tier read times must be positive")
+        if self.slow_tier_ns < self.fast_tier_ns:
+            raise ConfigError("slow_tier_ns must be >= fast_tier_ns")
 
     def _jitter(self, base: int, rng: np.random.Generator | None) -> int:
         if rng is None or self.jitter_sigma == 0.0:
@@ -68,3 +84,9 @@ class LatencyModel:
     def prefetch_service_ns(self, rng: np.random.Generator | None = None) -> int:
         """Service time of one prefetch item."""
         return self._jitter(self.prefetch_item_ns, rng)
+
+    def tier_read_ns(
+        self, fast: bool, rng: np.random.Generator | None = None
+    ) -> int:
+        """Object read time from the resident tier (tiered clusters only)."""
+        return self._jitter(self.fast_tier_ns if fast else self.slow_tier_ns, rng)

@@ -16,9 +16,20 @@ speculative load into *its* cache, where the future demand request will
 actually look. Forwards are bounded per request and counted in
 ``prefetch_forwarded``; they respect the owner's queue limit and dedup
 exactly like locally-issued prefetches.
+
+Tiered storage: when the cluster attaches a :class:`~repro.storage.
+tiering.TieredStore`, every demand request is charged an object read
+from its *pre-access* tier (fast or slow) on top of the metadata
+service time, and on completion drives the tier policy — the correlated policy co-promotes
+the file's mined correlators, and correlators owned by a peer travel
+the same forwarding seam as routed prefetch, arriving via
+:meth:`MetadataServer.accept_placement_hint` (bounded per request by
+``hint_budget``, counted in ``tier_hints_forwarded``).
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -31,6 +42,10 @@ from repro.storage.metrics import MetricsCollector
 from repro.storage.prefetch import PrefetchEngine
 from repro.storage.queues import DualRequestQueue
 from repro.storage.requests import MetadataRequest, RequestKind
+from repro.traces.record import TraceRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.tiering import TieredStore
 
 __all__ = ["MetadataServer"]
 
@@ -50,6 +65,7 @@ class MetadataServer:
         rng: np.random.Generator | None = None,
         name: str = "mds0",
         forward_budget: int = 0,
+        hint_budget: int = 0,
     ) -> None:
         self.name = name
         self.engine = engine
@@ -62,9 +78,12 @@ class MetadataServer:
         self._rng = rng
         self._busy = False
         self.forward_budget = forward_budget
-        # wired by the cluster when routed prefetch is on: peers[i] is
-        # the MDS storing the fids with `fid % n_mds == i`
+        self.hint_budget = hint_budget
+        # wired by the cluster when routed prefetch or tiering is on:
+        # peers[i] is the MDS storing the fids with `fid % n_mds == i`
         self.peers: list["MetadataServer"] | None = None
+        # wired by the cluster during preload when tiering is on
+        self.tier: "TieredStore | None" = None
 
     # ------------------------------------------------------------------
     # submission
@@ -104,6 +123,11 @@ class MetadataServer:
             self.metrics.prefetch_used += 1
         service = self.latency.demand_service_ns(request.hit, self._rng)
         service += self.prefetcher.overhead_ns
+        if self.tier is not None:
+            # the demand reads the object itself from whichever tier it
+            # occupies now, independent of the metadata-cache outcome
+            request.tier_fast = self.tier.peek_fast(fid)
+            service += self.latency.tier_read_ns(request.tier_fast, self._rng)
         self.metrics.record_busy(service)
         self.engine.schedule_after(service, lambda: self._complete_demand(request))
 
@@ -123,17 +147,69 @@ class MetadataServer:
         if request.record is None:
             raise SimulationError("demand request lacks its trace record")
         self.prefetcher.observe(request.record)
-        self._issue_prefetches(request)
+        local, remote = self._candidates(request.record)
+        self._tier_access(request, local, remote)
+        self._issue_prefetches(request, local, remote)
         self._busy = False
         self._maybe_start()
 
-    def _issue_prefetches(self, request: MetadataRequest) -> None:
-        remote: list[tuple[int, int]] = []
+    def _candidates(
+        self, record: TraceRecord
+    ) -> tuple[list[int], list[tuple[int, int]]]:
+        """Mined candidates split into local fids and (fid, owner) pairs.
+
+        The split needs an engine exposing ``partition_candidates`` and
+        wired peers; otherwise everything is local (an unsharded engine
+        proposes fids this server may not store — the tier drops the
+        unplaced ones, and prefetches of them fizzle as before).
+        """
         partition = getattr(self.prefetcher, "partition_candidates", None)
-        if self.peers is not None and self.forward_budget > 0 and callable(partition):
-            local, remote = partition(request.record)
-        else:
-            local = self.prefetcher.candidates(request.record)
+        if self.peers is not None and callable(partition):
+            return partition(record)
+        return self.prefetcher.candidates(record), []
+
+    def _tier_access(
+        self,
+        request: MetadataRequest,
+        local: list[int],
+        remote: list[tuple[int, int]],
+    ) -> None:
+        """Drive the tier policy with the completed demand and forward
+        placement hints for correlators a peer server stores."""
+        if self.tier is None:
+            return
+        correlates: list[int] = []
+        if self.tier.policy.uses_correlates:
+            correlates = self.tier.candidates_for(request.fid, local)
+        self.tier.access(request.fid, correlates, was_fast=request.tier_fast)
+        if self.peers is None or self.hint_budget <= 0:
+            return
+        if not self.tier.policy.uses_correlates:
+            return
+        # like forward_budget, the hint budget bounds attempted
+        # cross-server messages, not accepted ones
+        for fid, owner in remote[: self.hint_budget]:
+            self.peers[owner].accept_placement_hint(fid)
+            self.metrics.tier_hints_forwarded += 1
+
+    def accept_placement_hint(self, fid: int) -> bool:
+        """Apply a peer's tier-placement hint to this server's tier.
+
+        The correlated policy co-promotes the fid exactly as if a local
+        access had named it as a correlator. Returns False when this
+        server runs no tier, doesn't store the fid (a stale route), or
+        its policy ignores hints.
+        """
+        if self.tier is None:
+            return False
+        return self.tier.hint(fid)
+
+    def _issue_prefetches(
+        self,
+        request: MetadataRequest,
+        local: list[int],
+        remote: list[tuple[int, int]],
+    ) -> None:
         for fid in local:
             if fid == request.fid:
                 continue

@@ -9,7 +9,13 @@
   (Table 4);
 * **forwarded prefetches** — cross-server candidates routed to the
   owning MDS's queue instead of dropped (the cluster-routed prefetch
-  extension; ``prefetch_forwarded`` is a subset of ``prefetch_issued``).
+  extension; ``prefetch_forwarded`` is a subset of ``prefetch_issued``);
+* **tier placement** — when the cluster runs tiered storage
+  (:mod:`repro.storage.tiering`): ``tier_fast_hits`` / ``tier_slow_hits``
+  count every demand request against the object's *pre-access* tier, so
+  the fast-hit ratio has a policy-independent denominator; promotion,
+  co-promotion and demotion counters expose each policy's traffic and
+  churn, and ``tier_hints_forwarded`` the cross-server placement hints.
 """
 
 from __future__ import annotations
@@ -42,6 +48,12 @@ class SimulationReport:
     makespan_ns: int
     miner_memory_bytes: int = 0
     prefetch_forwarded: int = 0
+    tier_fast_hits: int = 0
+    tier_slow_hits: int = 0
+    tier_promotions: int = 0
+    tier_co_promotions: int = 0
+    tier_demotions: int = 0
+    tier_hints_forwarded: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -69,6 +81,17 @@ class SimulationReport:
         """Mean demand response time in milliseconds."""
         return self.mean_response_ns / 1e6
 
+    @property
+    def fast_hit_ratio(self) -> float:
+        """Demand accesses served from the fast tier, in [0, 1].
+
+        NaN on untiered runs (no tier accesses were recorded).
+        """
+        total = self.tier_fast_hits + self.tier_slow_hits
+        if total == 0:
+            return float("nan")
+        return self.tier_fast_hits / total
+
 
 class MetricsCollector:
     """Streaming accumulation during a simulation run."""
@@ -83,6 +106,12 @@ class MetricsCollector:
         self.prefetch_used = 0
         self.prefetch_wasted = 0
         self.prefetch_forwarded = 0
+        self.tier_fast_hits = 0
+        self.tier_slow_hits = 0
+        self.tier_promotions = 0
+        self.tier_co_promotions = 0
+        self.tier_demotions = 0
+        self.tier_hints_forwarded = 0
         self.server_busy_ns = 0
         self.makespan_ns = 0
         self._response = OnlineStats()
@@ -101,6 +130,13 @@ class MetricsCollector:
     def record_busy(self, service_ns: int) -> None:
         """Accumulate server busy time."""
         self.server_busy_ns += service_ns
+
+    def record_tier_access(self, fast: bool) -> None:
+        """Count one demand access against its pre-access tier."""
+        if fast:
+            self.tier_fast_hits += 1
+        else:
+            self.tier_slow_hits += 1
 
     def report(self, miner_memory_bytes: int = 0) -> SimulationReport:
         """Freeze the current counters into a report."""
@@ -122,4 +158,10 @@ class MetricsCollector:
             makespan_ns=self.makespan_ns,
             miner_memory_bytes=miner_memory_bytes,
             prefetch_forwarded=self.prefetch_forwarded,
+            tier_fast_hits=self.tier_fast_hits,
+            tier_slow_hits=self.tier_slow_hits,
+            tier_promotions=self.tier_promotions,
+            tier_co_promotions=self.tier_co_promotions,
+            tier_demotions=self.tier_demotions,
+            tier_hints_forwarded=self.tier_hints_forwarded,
         )

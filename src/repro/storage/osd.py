@@ -1,10 +1,19 @@
-"""Object storage device: placement and batched-read cost model.
+"""Object storage device: placement, tiers, and batched-read cost model.
 
 The OSD backs the §4.2 layout application. Objects are allocated extents
 on a linear device; reading a batch of objects costs one seek per
 *discontiguity* in the sorted extent list plus transfer time. Correlation
 -directed layout wins exactly when it turns a scattered batch into a
 contiguous run — the seek count is the experiment's headline metric.
+
+A device may additionally carry a capacity-bounded **fast tier** (flash
+in front of the spinning slow tier): ``promote``/``demote`` move an
+object between tiers, and :meth:`ObjectStorageDevice.read_batch` charges
+each tier with its own cost constants — the slow tier pays seeks plus
+rotational transfer, the fast tier a flat per-object read plus flash
+transfer. Which objects deserve the fast slots is a *policy* decision
+and lives in :mod:`repro.storage.tiering`; the device only enforces the
+capacity bound and the cost model.
 """
 
 from __future__ import annotations
@@ -32,35 +41,61 @@ class Extent:
 
 @dataclass(frozen=True, slots=True)
 class ReadCost:
-    """Cost of one batched read."""
+    """Cost of one batched read.
+
+    ``n_objects`` counts *distinct* objects: a batch that names the same
+    object twice touches its extent once (the second read is served from
+    the request buffer, not the platter). ``n_seeks`` is a slow-tier
+    quantity; fast-tier (flash) reads are seek-free and show up only in
+    ``n_fast`` and the latency. On an untiered device every object is a
+    slow-tier read (``n_slow == n_objects``).
+    """
 
     n_objects: int
     n_seeks: int
     bytes_read: int
     latency_ns: int
+    n_fast: int = 0
+    n_slow: int = 0
 
 
 class ObjectStorageDevice:
-    """Linear device with a sequential allocator and a seek cost model."""
+    """Linear device with a sequential allocator and a seek cost model.
+
+    With ``fast_capacity > 0`` the device also models a fast tier of at
+    most that many objects; :meth:`promote` refuses to overfill it, so a
+    tiering policy must :meth:`demote` a victim first.
+    """
 
     def __init__(
         self,
         seek_ns: int = 4_000_000,
         transfer_ns_per_kb: int = 10_000,
         name: str = "osd0",
+        fast_capacity: int = 0,
+        fast_read_ns: int = 100_000,
+        fast_transfer_ns_per_kb: int = 1_000,
     ) -> None:
-        if seek_ns < 0 or transfer_ns_per_kb < 0:
+        if min(seek_ns, transfer_ns_per_kb, fast_read_ns, fast_transfer_ns_per_kb) < 0:
             raise ConfigError("cost constants must be >= 0")
+        if fast_capacity < 0:
+            raise ConfigError("fast_capacity must be >= 0")
         self.name = name
         self.seek_ns = seek_ns
         self.transfer_ns_per_kb = transfer_ns_per_kb
+        self.fast_capacity = fast_capacity
+        self.fast_read_ns = fast_read_ns
+        self.fast_transfer_ns_per_kb = fast_transfer_ns_per_kb
         self._extents: dict[int, Extent] = {}
+        self._fast: set[int] = set()  # membership only — never iterated
         self._cursor = 0
         self.reads = 0
         self.total_seeks = 0
+        self.promotions = 0
+        self.demotions = 0
 
     def place(self, object_id: int, length: int) -> Extent:
-        """Allocate the next extent for ``object_id``.
+        """Allocate the next extent for ``object_id`` (slow tier).
 
         Raises:
             SimulationError: if the object is already placed.
@@ -92,32 +127,101 @@ class ObjectStorageDevice:
         """Whether the object has an extent."""
         return object_id in self._extents
 
+    # ------------------------------------------------------------------
+    # tiers
+    # ------------------------------------------------------------------
+
+    @property
+    def fast_count(self) -> int:
+        """Objects currently resident in the fast tier."""
+        return len(self._fast)
+
+    def in_fast(self, object_id: int) -> bool:
+        """Whether the object is resident in the fast tier."""
+        return object_id in self._fast
+
+    def promote(self, object_id: int) -> bool:
+        """Copy an object into the fast tier; False if already there.
+
+        Raises:
+            SimulationError: if the object is unplaced, or the fast tier
+                is full (the policy must demote a victim first) or has
+                zero capacity.
+        """
+        if object_id not in self._extents:
+            raise SimulationError(f"cannot promote unplaced object {object_id}")
+        if object_id in self._fast:
+            return False
+        if len(self._fast) >= self.fast_capacity:
+            raise SimulationError(
+                f"fast tier of {self.name} is full "
+                f"({len(self._fast)}/{self.fast_capacity}); demote first"
+            )
+        self._fast.add(object_id)
+        self.promotions += 1
+        return True
+
+    def demote(self, object_id: int) -> bool:
+        """Drop an object back to the slow tier; False if not fast."""
+        if object_id not in self._fast:
+            return False
+        self._fast.discard(object_id)
+        self.demotions += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
     def read_batch(self, object_ids: list[int]) -> ReadCost:
         """Cost of reading the given objects in one request.
 
-        The device sorts the extents by offset (as an elevator would) and
-        charges one seek for the initial position plus one per gap
-        between consecutive extents.
+        Duplicate ids are read once (the extent is touched a single
+        time; repeats hit the request buffer). Slow-tier extents are
+        sorted by offset (as an elevator would) and charged one seek for
+        the initial position plus one per gap between consecutive
+        extents; fast-tier objects are charged a flat per-object read.
+        An empty batch costs nothing.
+
+        Raises:
+            SimulationError: if any object was never placed.
         """
         if not object_ids:
             return ReadCost(0, 0, 0, 0)
-        extents = sorted(
-            (self._extents[oid] for oid in object_ids), key=lambda e: e.offset
+        unique: dict[int, None] = dict.fromkeys(object_ids)
+        fast_extents: list[Extent] = []
+        slow_extents: list[Extent] = []
+        for oid in unique:
+            extent = self._extents.get(oid)
+            if extent is None:
+                raise SimulationError(f"cannot read unplaced object {oid}")
+            (fast_extents if oid in self._fast else slow_extents).append(extent)
+        seeks = 0
+        slow_bytes = 0
+        if slow_extents:
+            slow_extents.sort(key=lambda e: e.offset)
+            seeks = 1
+            slow_bytes = slow_extents[0].length
+            for prev, cur in zip(slow_extents, slow_extents[1:]):
+                if cur.offset != prev.end:
+                    seeks += 1
+                slow_bytes += cur.length
+        fast_bytes = sum(e.length for e in fast_extents)
+        latency = (
+            seeks * self.seek_ns
+            + (slow_bytes // 1024) * self.transfer_ns_per_kb
+            + len(fast_extents) * self.fast_read_ns
+            + (fast_bytes // 1024) * self.fast_transfer_ns_per_kb
         )
-        seeks = 1
-        total_bytes = extents[0].length
-        for prev, cur in zip(extents, extents[1:]):
-            if cur.offset != prev.end:
-                seeks += 1
-            total_bytes += cur.length
-        latency = seeks * self.seek_ns + (total_bytes // 1024) * self.transfer_ns_per_kb
         self.reads += 1
         self.total_seeks += seeks
         return ReadCost(
-            n_objects=len(object_ids),
+            n_objects=len(unique),
             n_seeks=seeks,
-            bytes_read=total_bytes,
+            bytes_read=slow_bytes + fast_bytes,
             latency_ns=latency,
+            n_fast=len(fast_extents),
+            n_slow=len(slow_extents),
         )
 
     def __len__(self) -> int:

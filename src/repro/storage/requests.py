@@ -32,6 +32,8 @@ class MetadataRequest:
     start_ns: int = -1
     completion_ns: int = -1
     hit: bool = False
+    #: pre-access fast-tier residency (None on untiered runs)
+    tier_fast: bool | None = None
 
     @property
     def response_ns(self) -> int:

@@ -1,0 +1,364 @@
+"""Tier-placement policies: who deserves the fast slots of an OSD.
+
+Each metadata server owns one :class:`~repro.storage.osd.
+ObjectStorageDevice` with a capacity-bounded fast tier; on every demand
+request the server asks its :class:`TieredStore` to record the access,
+and the store's :class:`TierPolicy` decides which objects to *promote*
+into the fast tier and which resident victims to *demote* under
+capacity pressure. Three policies fight the showdown the ``ext_tiering``
+experiment runs:
+
+* :class:`LruTierPolicy` — pure temporal locality: promote the accessed
+  object, demote the least-recently-touched resident;
+* :class:`LfuTierPolicy` — frequency: promote the accessed object,
+  demote the resident with the fewest lifetime accesses (ties broken by
+  oldest promotion, so the decision is deterministic);
+* :class:`CorrelatedTierPolicy` — FARMER-driven: on access, *co-promote*
+  the file's top mined correlators alongside it and refresh residents
+  the access re-correlates, so cold correlation *clusters* age out
+  together while a hot cluster keeps all its members fast. Placement
+  hints for correlators owned by another server travel the
+  routed-prefetch forwarding seam (:meth:`~repro.storage.mds.
+  MetadataServer.accept_placement_hint`).
+
+Policies are deliberately hash-seed-independent: residency bookkeeping
+is insertion-ordered (:class:`collections.OrderedDict`), victims are
+chosen by explicit scans, and no set is ever iterated — the property
+tests replay a cluster under different ``PYTHONHASHSEED`` values and
+require bit-identical simulation metrics.
+
+This module is numpy-free by design (pure policy logic over the
+numpy-free OSD), so the no-numpy CI leg exercises it directly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError, SimulationError
+from repro.storage.osd import ObjectStorageDevice
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.metrics import MetricsCollector
+
+__all__ = [
+    "TIER_POLICIES",
+    "TierPolicy",
+    "LruTierPolicy",
+    "LfuTierPolicy",
+    "CorrelatedTierPolicy",
+    "TieredStore",
+    "make_tier_policy",
+]
+
+# op verbs a policy emits, applied in order by the store
+_PROMOTE = "promote"
+_CO_PROMOTE = "co_promote"
+_DEMOTE = "demote"
+
+
+class TierPolicy:
+    """Base policy: fast-tier residency bookkeeping plus the op log.
+
+    Subclasses override :meth:`on_access` (and optionally
+    :meth:`on_hint`) to return an ordered list of ``(verb, object_id)``
+    ops — ``"promote"`` / ``"co_promote"`` / ``"demote"`` — which the
+    :class:`TieredStore` applies to the device and the metrics in
+    sequence. Ops must be *sequentially valid*: a victim is demoted
+    before the admission that displaces it, so the device's capacity
+    bound holds at every intermediate step (the shared :meth:`_admit`
+    helper guarantees this).
+    """
+
+    name = "base"
+    #: whether :meth:`on_access` wants the mined correlator candidates
+    uses_correlates = False
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigError("tier capacity must be >= 1")
+        self.capacity = capacity
+        self._resident: OrderedDict[int, None] = OrderedDict()
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def resident(self) -> list[int]:
+        """Fast-tier residents, oldest-touched first (diagnostics)."""
+        return list(self._resident)
+
+    def on_access(
+        self, object_id: int, correlates: Sequence[int] = ()
+    ) -> list[tuple[str, int]]:
+        """Ops for one demand access (subclasses implement)."""
+        raise NotImplementedError
+
+    def on_hint(self, object_id: int) -> list[tuple[str, int]]:
+        """Ops for a forwarded placement hint (default: ignore)."""
+        return []
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+
+    def _admit(
+        self, object_id: int, ops: list[tuple[str, int]], verb: str = _PROMOTE
+    ) -> None:
+        """Refresh a resident or admit a newcomer (recency semantics),
+        demoting the oldest-touched residents first when at capacity so
+        the op sequence never overfills the device."""
+        if object_id in self._resident:
+            self._resident.move_to_end(object_id)
+            return
+        while len(self._resident) >= self.capacity:
+            victim, _ = self._resident.popitem(last=False)
+            ops.append((_DEMOTE, victim))
+        self._resident[object_id] = None
+        ops.append((verb, object_id))
+
+
+class LruTierPolicy(TierPolicy):
+    """Recency baseline: the fast tier is the last-touched objects."""
+
+    name = "lru"
+
+    def on_access(
+        self, object_id: int, correlates: Sequence[int] = ()
+    ) -> list[tuple[str, int]]:
+        """Promote/refresh the accessed object; demote the oldest."""
+        ops: list[tuple[str, int]] = []
+        self._admit(object_id, ops)
+        return ops
+
+
+class LfuTierPolicy(TierPolicy):
+    """Frequency baseline: residents with the fewest accesses go first.
+
+    Access counts are global (an object keeps its count across
+    demotions, as a frequency sketch would); the victim scan is over
+    residents in promotion order, so equal counts demote the
+    longest-resident object — a deterministic tie-break.
+    """
+
+    name = "lfu"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._freq: dict[int, int] = {}
+
+    def frequency(self, object_id: int) -> int:
+        """Lifetime access count of an object (0 if never accessed)."""
+        return self._freq.get(object_id, 0)
+
+    def on_access(
+        self, object_id: int, correlates: Sequence[int] = ()
+    ) -> list[tuple[str, int]]:
+        """Count the access; promote if absent, first demoting the
+        min-freq resident (evict-before-admit keeps the device's
+        capacity bound intact at every op, and means a cold newcomer
+        can never be its own admission's victim)."""
+        self._freq[object_id] = self._freq.get(object_id, 0) + 1
+        if object_id in self._resident:
+            return []
+        ops: list[tuple[str, int]] = []
+        while len(self._resident) >= self.capacity:
+            victim = None
+            victim_freq = None
+            for oid in self._resident:
+                freq = self._freq.get(oid, 0)
+                if victim_freq is None or freq < victim_freq:
+                    victim, victim_freq = oid, freq
+            del self._resident[victim]
+            ops.append((_DEMOTE, victim))
+        self._resident[object_id] = None
+        ops.append((_PROMOTE, object_id))
+        return ops
+
+
+class CorrelatedTierPolicy(TierPolicy):
+    """FARMER-driven placement: accesses promote their correlators too.
+
+    On access the object *and* the head of its mined Correlator List
+    (``correlates[:k]``) are promoted or recency-refreshed; eviction is
+    oldest-touch, so an untouched correlation cluster cools down and
+    ages out as a unit while every member of a hot cluster stays fast
+    even if only one of them is being re-accessed. ``source`` overrides
+    the mined candidates with an external lookup (the planted-truth
+    *oracle* of the workload scenarios uses this to bound how much
+    fast-hit ratio perfect correlation knowledge could buy).
+    """
+
+    name = "correlated"
+    uses_correlates = True
+
+    def __init__(
+        self,
+        capacity: int,
+        k: int = 4,
+        source: Callable[[int], Sequence[int]] | None = None,
+    ) -> None:
+        super().__init__(capacity)
+        if k < 0:
+            raise ConfigError("co-promotion k must be >= 0")
+        self.k = k
+        self.source = source
+
+    def on_access(
+        self, object_id: int, correlates: Sequence[int] = ()
+    ) -> list[tuple[str, int]]:
+        """Promote/refresh the object, co-promote its correlators;
+        each admission demotes the oldest-touched resident first."""
+        ops: list[tuple[str, int]] = []
+        self._admit(object_id, ops)
+        for candidate in list(correlates)[: self.k]:
+            if candidate != object_id:
+                self._admit(candidate, ops, verb=_CO_PROMOTE)
+        return ops
+
+    def on_hint(self, object_id: int) -> list[tuple[str, int]]:
+        """A peer's placement hint co-promotes like a local correlator."""
+        ops: list[tuple[str, int]] = []
+        self._admit(object_id, ops, verb=_CO_PROMOTE)
+        return ops
+
+
+TIER_POLICIES: dict[str, type[TierPolicy]] = {
+    "lru": LruTierPolicy,
+    "lfu": LfuTierPolicy,
+    "correlated": CorrelatedTierPolicy,
+}
+
+
+def make_tier_policy(name: str, capacity: int, k: int = 4) -> TierPolicy:
+    """Construct a registered policy by name.
+
+    Raises:
+        ConfigError: for unknown policy names.
+    """
+    cls = TIER_POLICIES.get(name)
+    if cls is None:
+        raise ConfigError(
+            f"unknown tier policy {name!r}; expected one of "
+            f"{', '.join(sorted(TIER_POLICIES))}"
+        )
+    if cls is CorrelatedTierPolicy:
+        return CorrelatedTierPolicy(capacity, k=k)
+    return cls(capacity)
+
+
+class TieredStore:
+    """One metadata server's tiered object store: device + policy + metrics.
+
+    The store is the only writer of both the policy's residency
+    bookkeeping and the device's fast set, so the two can never drift;
+    ``check_consistent`` asserts it. Accesses are recorded against the
+    *pre-access* tier (you can't be sped up by a promotion your own
+    access triggered), which makes the fast-hit ratio a pure measure of
+    placement foresight.
+    """
+
+    def __init__(
+        self,
+        device: ObjectStorageDevice,
+        policy: TierPolicy,
+        metrics: "MetricsCollector",
+    ) -> None:
+        if device.fast_capacity != policy.capacity:
+            raise ConfigError(
+                f"device fast_capacity {device.fast_capacity} != policy "
+                f"capacity {policy.capacity}"
+            )
+        self.device = device
+        self.policy = policy
+        self.metrics = metrics
+
+    def place(self, object_id: int, length: int) -> None:
+        """Preload one object onto the slow tier."""
+        self.device.place(object_id, max(1, length))
+
+    def is_placed(self, object_id: int) -> bool:
+        """Whether this server stores the object at all."""
+        return self.device.is_placed(object_id)
+
+    def peek_fast(self, object_id: int) -> bool:
+        """Non-mutating tier probe (the latency charge reads this)."""
+        return self.device.in_fast(object_id)
+
+    def candidates_for(self, object_id: int, mined: Sequence[int]) -> list[int]:
+        """Co-promotion candidates: the policy's ``source`` override
+        (the oracle) when present, else the mined candidates the server
+        passed in."""
+        source = getattr(self.policy, "source", None)
+        if source is not None:
+            return list(source(object_id))
+        return list(mined)
+
+    def access(
+        self,
+        object_id: int,
+        correlates: Sequence[int] = (),
+        was_fast: bool | None = None,
+    ) -> bool:
+        """Record one demand access; returns the pre-access residency.
+
+        ``was_fast`` lets the server pass the residency it peeked when
+        it charged the read latency, so the reported fast-hit ratio is
+        exactly the tier that was billed; by default the current
+        residency is used. Candidates not stored on this device
+        (another server's fids) are dropped here — the server forwards
+        those as placement hints to their owners instead.
+        """
+        if was_fast is None:
+            was_fast = self.device.in_fast(object_id)
+        self.metrics.record_tier_access(was_fast)
+        local = [
+            c
+            for c in correlates
+            if c != object_id and self.device.is_placed(c)
+        ]
+        self._apply(self.policy.on_access(object_id, local))
+        return was_fast
+
+    def hint(self, object_id: int) -> bool:
+        """Apply a forwarded placement hint; False if the object isn't
+        stored here (a stale route) or the policy ignores hints."""
+        if not self.device.is_placed(object_id):
+            return False
+        before = self.device.fast_count
+        self._apply(self.policy.on_hint(object_id))
+        return self.device.fast_count >= before
+
+    def _apply(self, ops: Sequence[tuple[str, int]]) -> None:
+        for verb, oid in ops:
+            if verb == _DEMOTE:
+                self.device.demote(oid)
+                self.metrics.tier_demotions += 1
+            elif verb == _PROMOTE:
+                self.device.promote(oid)
+                self.metrics.tier_promotions += 1
+            elif verb == _CO_PROMOTE:
+                self.device.promote(oid)
+                self.metrics.tier_promotions += 1
+                self.metrics.tier_co_promotions += 1
+            else:  # pragma: no cover - policy bug guard
+                raise SimulationError(f"unknown tier op {verb!r}")
+
+    def check_consistent(self) -> None:
+        """Assert policy residency == device fast set (test hook).
+
+        Raises:
+            SimulationError: on any drift between the two.
+        """
+        resident = self.policy.resident()
+        if len(resident) != self.device.fast_count:
+            raise SimulationError("policy/device fast-set size drift")
+        for oid in resident:
+            if not self.device.in_fast(oid):
+                raise SimulationError(f"policy resident {oid} not fast on device")
+        if self.device.fast_count > self.policy.capacity:
+            raise SimulationError("fast tier over capacity")

@@ -18,7 +18,13 @@ sys.path.insert(0, str(REPO / "tools"))
 from check_docs import check_markdown, extract_blocks  # noqa: E402
 from check_docstrings import check_file  # noqa: E402
 
-DOCS = ("architecture.md", "equivalence.md", "benchmarks.md", "workloads.md")
+DOCS = (
+    "architecture.md",
+    "equivalence.md",
+    "benchmarks.md",
+    "workloads.md",
+    "tiering.md",
+)
 
 
 class TestDocsExist:

@@ -28,6 +28,10 @@ class TestRegistry:
         ):
             assert required in ids
 
+    def test_extension_experiments_registered(self):
+        ids = set(experiment_ids())
+        assert "ext_tiering" in ids
+
     def test_get_known(self):
         exp = get_experiment("fig7")
         assert exp.paper_artifact == "Figure 7"
@@ -60,6 +64,39 @@ class TestCli:
         assert main(["run", "fig1", "--events", "800", "--seeds", "1"]) == 0
         out = capsys.readouterr().out
         assert "Figure 1" in out
+
+    def test_storage_showdown(self, capsys):
+        assert main(
+            ["storage", "--tiering", "lru", "--events", "400", "--mds", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fast hit" in out and "lru" in out
+
+    def test_storage_scenario_json(self, capsys):
+        assert main(
+            [
+                "storage",
+                "pipeline",
+                "--tiering",
+                "correlated",
+                "--events",
+                "400",
+                "--mds",
+                "2",
+                "--json",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert '"policy": "correlated"' in out
+        assert '"workload": "pipeline"' in out
+
+    def test_storage_rejects_unknown_workload(self, capsys):
+        assert main(["storage", "nosuch", "--events", "200"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_storage_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["storage", "--tiering", "mru"])
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):

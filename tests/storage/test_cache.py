@@ -111,3 +111,29 @@ class TestPrefetchBookkeeping:
         cache.lookup(1)
         cache.reset_counters()
         assert cache.hits == 0 and cache.misses == 0
+
+
+class TestEdgeCases:
+    def test_contains_and_invalidate_missing(self):
+        cache = LRUCache(2)
+        cache.insert(1, "a")
+        assert 1 in cache and 2 not in cache
+        assert cache.invalidate(1) is True
+        assert cache.invalidate(1) is False
+
+    def test_refresh_promotes_to_mru(self):
+        cache = LRUCache(2)
+        cache.insert(1, "a")
+        cache.insert(2, "b")
+        cache.insert(1, "a2")  # refresh: 2 becomes the LRU victim
+        cache.insert(3, "c")
+        assert 1 in cache and 2 not in cache
+        assert cache.peek(1).value == "a2"
+
+    def test_hit_ratio_counts_only_lookups(self):
+        cache = LRUCache(2)
+        cache.insert(1, "a")
+        cache.lookup(1)
+        cache.lookup(9)
+        cache.peek(1)  # never counted
+        assert cache.hit_ratio() == 0.5

@@ -148,3 +148,68 @@ class TestProperties:
         assert len(store) == len(model)
         assert store.keys() == sorted(model)
         store.check_invariants()
+
+
+class TestEdgeCases:
+    def test_reserved_tombstone_value_rejected(self):
+        from repro.storage.kvstore import _TOMBSTONE
+
+        store = BTreeKVStore()
+        with pytest.raises(KVStoreError, match="reserved"):
+            store.put(1, _TOMBSTONE)
+
+    def test_membership_and_keys_not_charged(self):
+        store = BTreeKVStore()
+        store.put(1, "a")
+        gets, scans = store.gets, store.scans
+        assert 1 in store and 2 not in store
+        store.keys()
+        assert (store.gets, store.scans) == (gets, scans)
+
+    def test_load_skips_blank_lines_and_resets_puts(self, tmp_path):
+        path = tmp_path / "kv.jsonl"
+        path.write_text('[1,"a"]\n\n[2,"b"]\n')
+        store = BTreeKVStore.load(path)
+        assert store.keys() == [1, 2]
+        assert store.puts == 0  # rebuild I/O is not charged to the run
+
+    def test_dump_does_not_charge_a_scan(self, tmp_path):
+        store = BTreeKVStore()
+        store.put(1, "a")
+        store.dump(tmp_path / "kv.jsonl")
+        assert store.scans == 0
+
+    def test_bounded_range_on_deep_tree(self):
+        store = BTreeKVStore(min_degree=2)
+        for i in range(300):
+            store.put(i, i)
+        assert [k for k, _ in store.range(120, 140)] == list(range(120, 141))
+
+    def test_delete_then_len_then_resurrect_on_deep_tree(self):
+        store = BTreeKVStore(min_degree=2)
+        for i in range(100):
+            store.put(i, i)
+        assert store.delete(50) and not store.delete(50)
+        assert len(store) == 99
+        store.put(50, "back")
+        assert len(store) == 100 and store.get(50) == "back"
+        store.check_invariants()
+
+    def test_approx_bytes_grows(self):
+        store = BTreeKVStore(min_degree=2)
+        empty = store.approx_bytes()
+        for i in range(200):
+            store.put(i, i)
+        assert store.approx_bytes() > empty
+
+    def test_check_invariants_detects_corruption(self):
+        store = BTreeKVStore(min_degree=2)
+        for i in range(50):
+            store.put(i, i)
+        node = store._root
+        while not node.leaf:
+            node = node.children[0]
+        node.keys.extend(range(1000, 1010))  # overfull + out of order
+        node.values.extend(range(10))
+        with pytest.raises(KVStoreError):
+            store.check_invariants()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigError, SimulationError
-from repro.storage.osd import ObjectStorageDevice
+from repro.storage.osd import ObjectStorageDevice, ReadCost
 
 
 class TestPlacement:
@@ -84,3 +84,92 @@ class TestReadCost:
     def test_cost_validation(self):
         with pytest.raises(ConfigError):
             ObjectStorageDevice(seek_ns=-1)
+
+
+class TestReadBatchRegressions:
+    """Pinned behaviour for the repeated-id accounting fix.
+
+    A batch that names the same object twice used to bill its extent
+    twice (double seeks, double bytes); the second read is served from
+    the request buffer and must be free.
+    """
+
+    def test_repeated_object_charged_once(self):
+        osd = ObjectStorageDevice()
+        osd.place(1, 1024)
+        repeated = osd.read_batch([1, 1, 1])
+        single = ObjectStorageDevice()
+        single.place(1, 1024)
+        assert repeated == single.read_batch([1])
+        assert repeated.n_objects == 1
+        assert repeated.bytes_read == 1024
+
+    def test_repeated_ids_keep_first_seen_order(self):
+        osd = ObjectStorageDevice()
+        for oid in range(6):
+            osd.place(oid, 1024)
+        assert osd.read_batch([4, 0, 4, 0, 2]) == osd.read_batch([4, 0, 2])
+
+    def test_empty_batch_not_counted_as_a_read(self):
+        osd = ObjectStorageDevice()
+        cost = osd.read_batch([])
+        assert cost == ReadCost(0, 0, 0, 0)
+        assert osd.reads == 0 and osd.total_seeks == 0
+
+    def test_unplaced_object_raises(self):
+        osd = ObjectStorageDevice()
+        osd.place(1, 10)
+        with pytest.raises(SimulationError, match="unplaced object 2"):
+            osd.read_batch([1, 2])
+
+
+class TestFastTier:
+    def test_promote_demote_round_trip(self):
+        osd = ObjectStorageDevice(fast_capacity=1)
+        osd.place(1, 1024)
+        assert osd.promote(1) is True
+        assert osd.in_fast(1) and osd.fast_count == 1
+        assert osd.promote(1) is False  # already fast: no-op
+        assert osd.demote(1) is True
+        assert osd.demote(1) is False  # already slow: no-op
+        assert osd.promotions == 1 and osd.demotions == 1
+
+    def test_promote_refuses_overfill_and_unplaced(self):
+        osd = ObjectStorageDevice(fast_capacity=1)
+        osd.place(1, 10)
+        osd.place(2, 10)
+        osd.promote(1)
+        with pytest.raises(SimulationError, match="demote first"):
+            osd.promote(2)
+        with pytest.raises(SimulationError):
+            osd.promote(99)
+
+    def test_fast_reads_skip_seeks(self):
+        osd = ObjectStorageDevice(
+            seek_ns=1000,
+            transfer_ns_per_kb=10,
+            fast_capacity=1,
+            fast_read_ns=5,
+            fast_transfer_ns_per_kb=1,
+        )
+        osd.place(1, 2048)
+        osd.place(2, 2048)
+        osd.promote(1)
+        cost = osd.read_batch([1, 2])
+        assert (cost.n_fast, cost.n_slow) == (1, 1)
+        assert cost.n_seeks == 1  # only the slow extent seeks
+        assert cost.latency_ns == (5 + 2 * 1) + (1000 + 2 * 10)
+
+    def test_untiered_device_is_all_slow(self):
+        osd = ObjectStorageDevice()
+        osd.place(1, 1024)
+        cost = osd.read_batch([1])
+        assert (cost.n_fast, cost.n_slow) == (0, 1)
+        with pytest.raises(SimulationError):
+            osd.promote(1)  # fast_capacity=0: no tier to promote into
+
+    def test_tier_config_validation(self):
+        with pytest.raises(ConfigError):
+            ObjectStorageDevice(fast_capacity=-1)
+        with pytest.raises(ConfigError):
+            ObjectStorageDevice(fast_capacity=1, fast_read_ns=-1)

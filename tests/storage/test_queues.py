@@ -73,3 +73,27 @@ class TestDedup:
         assert q.demand_enqueued == 1
         assert q.prefetch_enqueued == 1
         assert len(q) == 2
+
+
+class TestDepths:
+    def test_depth_properties_track_each_class(self):
+        q = DualRequestQueue()
+        q.push(demand(1))
+        q.push(demand(2))
+        q.push(prefetch(3))
+        assert (q.demand_depth, q.prefetch_depth) == (2, 1)
+        q.pop()  # a demand
+        assert (q.demand_depth, q.prefetch_depth) == (1, 1)
+
+    def test_dropped_prefetch_not_tracked_for_dedup(self):
+        q = DualRequestQueue(prefetch_limit=1)
+        assert q.push(prefetch(1)) is True
+        assert q.push(prefetch(2)) is False  # overflow: dropped
+        assert q.has_queued_prefetch(1)
+        assert not q.has_queued_prefetch(2)
+        assert q.prefetch_dropped == 1
+
+    def test_push_reports_acceptance(self):
+        q = DualRequestQueue(prefetch_limit=0)
+        assert q.push(demand(1)) is True  # demand is never dropped
+        assert q.push(prefetch(2)) is False

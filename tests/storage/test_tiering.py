@@ -1,0 +1,120 @@
+"""Tiered storage in the cluster: wiring, metrics, and the showdown.
+
+Policy-level unit tests live in ``test_tiering_policies.py`` (numpy-
+free, so they also run on the bare-interpreter CI leg); this file
+exercises the simulation wiring and carries the PR's acceptance claim:
+at equal tier budgets the correlated policy's fast-hit ratio is
+strictly above the LRU and LFU baselines on HP@4MDS and on the
+planted-truth scenarios, and the truth-reading oracle bounds the
+remaining placement headroom.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.common import cached_trace
+from repro.experiments.tiering_experiment import cached_scenario, tiered_report
+from repro.storage.cluster import HustCluster, SimulationConfig, run_simulation
+from repro.storage.prefetch import NoPrefetcher
+from repro.storage.tiering import TIER_POLICIES
+
+EVENTS = 2000
+SHOWDOWN_SCENARIOS = ("zipfian_hotspot", "pipeline", "multi_tenant", "diurnal")
+
+
+class TestClusterWiring:
+    def test_untiered_report_has_nan_ratio_and_zero_counters(self):
+        records = cached_trace("hp", 300, 1)
+        report = run_simulation(records, NoPrefetcher(), SimulationConfig())
+        assert math.isnan(report.fast_hit_ratio)
+        assert report.tier_promotions == 0 and report.tier_hints_forwarded == 0
+
+    def test_tiered_run_counts_every_demand(self):
+        records = cached_trace("hp", 300, 1)
+        config = SimulationConfig(tiering="lru", tier_fraction=0.1)
+        report = run_simulation(records, NoPrefetcher(), config)
+        assert report.tier_fast_hits + report.tier_slow_hits == len(records)
+        assert 0.0 <= report.fast_hit_ratio <= 1.0
+        assert report.tier_promotions >= report.tier_demotions
+
+    def test_fast_hit_denominator_identical_across_policies(self):
+        records = cached_trace("hp", 300, 1)
+        totals = set()
+        for policy in TIER_POLICIES:
+            config = SimulationConfig(tiering=policy, tier_fraction=0.1)
+            report = run_simulation(records, NoPrefetcher(), config)
+            totals.add(report.tier_fast_hits + report.tier_slow_hits)
+        assert totals == {len(records)}
+
+    def test_hints_flow_across_servers(self):
+        report = tiered_report(
+            cached_trace("hp", 800, 1), "correlated", 0.1, n_mds=4
+        )
+        assert report.tier_hints_forwarded > 0
+        assert report.tier_co_promotions > 0
+
+    def test_baselines_never_forward_hints(self):
+        for policy in ("lru", "lfu"):
+            report = tiered_report(
+                cached_trace("hp", 800, 1), policy, 0.1, n_mds=4
+            )
+            assert report.tier_hints_forwarded == 0
+            assert report.tier_co_promotions == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(tiering="mru")
+        with pytest.raises(ConfigError):
+            SimulationConfig(tier_fraction=0.0)
+        with pytest.raises(ConfigError):
+            SimulationConfig(tier_fraction=1.5)
+        with pytest.raises(ConfigError):
+            SimulationConfig(tier_k=-1)
+
+    def test_tier_stores_built_per_server_and_consistent(self):
+        records = cached_trace("hp", 500, 1)
+        config = SimulationConfig(n_mds=2, tiering="correlated", tier_fraction=0.2)
+        cluster = HustCluster(config, NoPrefetcher())
+        cluster.run(records)
+        fids = {r.fid for r in records}
+        for i, server in enumerate(cluster.servers):
+            assert server.tier is not None
+            n_local = sum(1 for f in fids if f % 2 == i)
+            assert server.tier.policy.capacity == max(1, round(0.2 * n_local))
+            server.tier.check_consistent()
+
+
+class TestShowdown:
+    """The acceptance claim: correlated strictly beats both baselines
+    at equal tier budgets, and the oracle bounds the headroom."""
+
+    def test_hp_4mds_tight_budget(self):
+        records = cached_trace("hp", EVENTS, 1)
+        ratios = {
+            policy: tiered_report(records, policy, 0.05).fast_hit_ratio
+            for policy in ("lru", "lfu", "correlated")
+        }
+        assert ratios["correlated"] > ratios["lru"]
+        assert ratios["correlated"] > ratios["lfu"]
+
+    @pytest.mark.parametrize("name", SHOWDOWN_SCENARIOS)
+    def test_scenarios(self, name):
+        records, _ = cached_scenario(name, EVENTS, 1)
+        ratios = {
+            policy: tiered_report(records, policy, 0.1).fast_hit_ratio
+            for policy in ("lru", "lfu", "correlated")
+        }
+        assert ratios["correlated"] > ratios["lru"]
+        assert ratios["correlated"] > ratios["lfu"]
+
+    @pytest.mark.parametrize("name", ("pipeline", "zipfian_hotspot"))
+    def test_oracle_bounds_mined_placement(self, name):
+        records, truth = cached_scenario(name, EVENTS, 1)
+        mined = tiered_report(records, "correlated", 0.1, n_mds=1)
+        oracle = tiered_report(records, "correlated", 0.1, n_mds=1, truth=truth)
+        assert oracle.fast_hit_ratio >= mined.fast_hit_ratio
+        assert oracle.fast_hit_ratio > 0.5

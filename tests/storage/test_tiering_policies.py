@@ -1,0 +1,214 @@
+"""Tier policy unit tests — numpy-free by construction.
+
+The policies and :class:`TieredStore` live in the numpy-free subset of
+the storage package, so this file runs on the bare-interpreter CI leg:
+it imports only the tiering module and the object storage device, and
+stands in for the (numpy-backed) metrics collector with a minimal
+counter object exposing the same tier interface.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.storage.osd import ObjectStorageDevice
+from repro.storage.tiering import (
+    TIER_POLICIES,
+    CorrelatedTierPolicy,
+    LfuTierPolicy,
+    LruTierPolicy,
+    TieredStore,
+    make_tier_policy,
+)
+
+
+class _TierMetrics:
+    """The slice of MetricsCollector the tiered store drives."""
+
+    def __init__(self) -> None:
+        self.tier_fast_hits = 0
+        self.tier_slow_hits = 0
+        self.tier_promotions = 0
+        self.tier_co_promotions = 0
+        self.tier_demotions = 0
+
+    def record_tier_access(self, fast: bool) -> None:
+        if fast:
+            self.tier_fast_hits += 1
+        else:
+            self.tier_slow_hits += 1
+
+
+def _store(policy, n_objects=10) -> TieredStore:
+    device = ObjectStorageDevice(fast_capacity=policy.capacity)
+    store = TieredStore(device, policy, _TierMetrics())
+    for oid in range(n_objects):
+        store.place(oid, 1024)
+    return store
+
+
+class TestLruPolicy:
+    def test_promotes_and_evicts_oldest(self):
+        store = _store(LruTierPolicy(2))
+        store.access(0)
+        store.access(1)
+        store.access(2)  # evicts 0
+        assert not store.peek_fast(0)
+        assert store.peek_fast(1) and store.peek_fast(2)
+        store.check_consistent()
+
+    def test_refresh_changes_victim(self):
+        store = _store(LruTierPolicy(2))
+        store.access(0)
+        store.access(1)
+        store.access(0)  # refresh: 1 is now oldest
+        store.access(2)
+        assert store.peek_fast(0) and not store.peek_fast(1)
+
+    def test_access_returns_pre_access_residency(self):
+        store = _store(LruTierPolicy(2))
+        assert store.access(0) is False
+        assert store.access(0) is True
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigError):
+            LruTierPolicy(0)
+
+
+class TestLfuPolicy:
+    def test_frequent_resident_survives(self):
+        store = _store(LfuTierPolicy(2))
+        for _ in range(3):
+            store.access(0)
+        store.access(1)
+        store.access(2)  # victim is 1 (freq 1), not 0 (freq 3)
+        assert store.peek_fast(0) and store.peek_fast(2)
+        assert not store.peek_fast(1)
+        store.check_consistent()
+
+    def test_tie_breaks_demote_longest_resident(self):
+        store = _store(LfuTierPolicy(2))
+        store.access(0)
+        store.access(1)  # both freq 1; 0 is the older resident
+        store.access(2)
+        assert not store.peek_fast(0)
+        assert store.peek_fast(1) and store.peek_fast(2)
+
+    def test_frequency_survives_demotion(self):
+        policy = LfuTierPolicy(1)
+        store = _store(policy)
+        store.access(0)
+        store.access(0)
+        store.access(1)  # demotes 0, but its count persists
+        assert policy.frequency(0) == 2
+        store.access(0)  # returning with freq 3 demotes 1 (freq 1)
+        assert store.peek_fast(0)
+
+    def test_capacity_one_newcomer_always_admitted(self):
+        store = _store(LfuTierPolicy(1))
+        for _ in range(5):
+            store.access(7)
+        store.access(3)  # cold newcomer still displaces the hot object
+        assert store.peek_fast(3) and not store.peek_fast(7)
+        store.check_consistent()
+
+
+class TestCorrelatedPolicy:
+    def test_co_promotes_correlators(self):
+        store = _store(CorrelatedTierPolicy(4, k=2))
+        store.access(0, correlates=[1, 2, 3])  # k=2: only 1 and 2
+        assert store.peek_fast(0) and store.peek_fast(1) and store.peek_fast(2)
+        assert not store.peek_fast(3)
+        assert store.metrics.tier_co_promotions == 2
+
+    def test_cold_cluster_ages_out_together(self):
+        store = _store(CorrelatedTierPolicy(4, k=1))
+        store.access(0, correlates=[1])
+        store.access(2, correlates=[3])
+        store.access(4, correlates=[5])  # evicts cluster {0, 1}
+        assert not store.peek_fast(0) and not store.peek_fast(1)
+        assert store.peek_fast(2) and store.peek_fast(4)
+
+    def test_access_refreshes_whole_cluster(self):
+        store = _store(CorrelatedTierPolicy(4, k=1))
+        store.access(0, correlates=[1])
+        store.access(2, correlates=[3])
+        store.access(0, correlates=[1])  # refresh {0,1}: {2,3} now oldest
+        store.access(4, correlates=[5])
+        assert store.peek_fast(0) and store.peek_fast(1)
+        assert not store.peek_fast(2) and not store.peek_fast(3)
+
+    def test_unplaced_and_self_correlates_dropped(self):
+        store = _store(CorrelatedTierPolicy(4, k=4), n_objects=3)
+        store.access(0, correlates=[0, 1, 99])  # self + unplaced
+        assert store.peek_fast(0) and store.peek_fast(1)
+        assert store.device.fast_count == 2
+
+    def test_hint_co_promotes(self):
+        store = _store(CorrelatedTierPolicy(2))
+        assert store.hint(5) is True
+        assert store.peek_fast(5)
+        assert store.metrics.tier_co_promotions == 1
+
+    def test_hint_for_unstored_fid_ignored(self):
+        store = _store(CorrelatedTierPolicy(2), n_objects=3)
+        assert store.hint(99) is False
+        assert store.device.fast_count == 0
+
+    def test_source_overrides_mined_candidates(self):
+        policy = CorrelatedTierPolicy(4, k=2, source=lambda fid: [fid + 1])
+        store = _store(policy)
+        assert store.candidates_for(3, mined=[8, 9]) == [4]
+        plain = _store(CorrelatedTierPolicy(4, k=2))
+        assert plain.candidates_for(3, mined=[8, 9]) == [8, 9]
+
+    def test_k_validation(self):
+        with pytest.raises(ConfigError):
+            CorrelatedTierPolicy(2, k=-1)
+
+
+class TestFactoryAndStore:
+    def test_factory_builds_each_policy(self):
+        assert isinstance(make_tier_policy("lru", 4), LruTierPolicy)
+        assert isinstance(make_tier_policy("lfu", 4), LfuTierPolicy)
+        correlated = make_tier_policy("correlated", 4, k=7)
+        assert isinstance(correlated, CorrelatedTierPolicy)
+        assert correlated.k == 7
+        assert set(TIER_POLICIES) == {"lru", "lfu", "correlated"}
+
+    def test_factory_unknown_name(self):
+        with pytest.raises(ConfigError):
+            make_tier_policy("mru", 4)
+
+    def test_capacity_mismatch_rejected(self):
+        device = ObjectStorageDevice(fast_capacity=3)
+        with pytest.raises(ConfigError):
+            TieredStore(device, LruTierPolicy(2), _TierMetrics())
+
+    def test_metrics_and_counters(self):
+        store = _store(LruTierPolicy(2))
+        store.access(0)
+        store.access(1)
+        store.access(2)
+        store.access(2)
+        m = store.metrics
+        assert m.tier_fast_hits == 1 and m.tier_slow_hits == 3
+        assert m.tier_promotions == 3 and m.tier_demotions == 1
+        assert store.device.promotions == 3 and store.device.demotions == 1
+
+    def test_check_consistent_detects_drift(self):
+        store = _store(LruTierPolicy(2))
+        store.access(0)
+        store.device.demote(0)  # drift injected behind the policy's back
+        with pytest.raises(SimulationError):
+            store.check_consistent()
+
+    def test_policy_base_resident_order(self):
+        policy = LruTierPolicy(3)
+        store = _store(policy)
+        store.access(0)
+        store.access(1)
+        store.access(0)
+        assert policy.resident() == [1, 0]  # oldest-touched first
+        assert len(policy) == 2 and 0 in policy and 2 not in policy

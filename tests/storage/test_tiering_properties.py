@@ -1,0 +1,133 @@
+"""Satellite properties: tiering placement is deterministic.
+
+Two invariances, both load-bearing for the showdown numbers:
+
+* **Process/hash-seed independence** — a tiered simulation report must
+  be bit-identical in a child interpreter running under a different
+  ``PYTHONHASHSEED``. Tier placement walks dicts of fids; any
+  iteration-order dependence would make the fast-hit ratio a function
+  of the machine, not the policy.
+* **Rebalance invariance** — migrating the co-located miner shards to
+  a different routing (``ShardedFarmer.rebalance``) ships every
+  Correlator List verbatim, so the tiered simulation driven by the
+  rebalanced service must produce the identical report: placement
+  depends on what was mined, never on which shard holds it. The mined
+  state is frozen for the comparison because *live* echo delivery is
+  routing-dependent by design (different routings make different
+  record pairs cross shard boundaries); the invariant under test is
+  the query/placement layer, which rebalance must preserve exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from repro.experiments.common import cached_trace, farmer_config_for
+from repro.experiments.tiering_experiment import cached_scenario, tiered_report
+from repro.service.sharded import ShardedFarmer
+from repro.storage.cluster import SimulationConfig, run_simulation
+from repro.storage.prefetch import ShardedFarmerPrefetcher
+
+EVENTS = 600
+
+_CHILD = """\
+import hashlib
+from repro.experiments.common import cached_trace
+from repro.experiments.tiering_experiment import cached_scenario, tiered_report
+
+for policy in ("lru", "lfu", "correlated"):
+    report = tiered_report(cached_trace("hp", {events}, 1), policy, 0.1)
+    h = hashlib.blake2b(repr(report).encode(), digest_size=16)
+    print("hp", policy, h.hexdigest())
+records, _ = cached_scenario("pipeline", {events}, 1)
+report = tiered_report(records, "correlated", 0.1)
+h = hashlib.blake2b(repr(report).encode(), digest_size=16)
+print("pipeline", "correlated", h.hexdigest())
+"""
+
+
+def _digests_here() -> dict[tuple[str, str], str]:
+    out = {}
+    for policy in ("lru", "lfu", "correlated"):
+        report = tiered_report(cached_trace("hp", EVENTS, 1), policy, 0.1)
+        digest = hashlib.blake2b(repr(report).encode(), digest_size=16)
+        out[("hp", policy)] = digest.hexdigest()
+    records, _ = cached_scenario("pipeline", EVENTS, 1)
+    report = tiered_report(records, "correlated", 0.1)
+    digest = hashlib.blake2b(repr(report).encode(), digest_size=16)
+    out[("pipeline", "correlated")] = digest.hexdigest()
+    return out
+
+
+def _digests_in_child(hash_seed: str) -> dict[tuple[str, str], str]:
+    src = Path(__file__).resolve().parents[2] / "src"
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD.format(events=EVENTS)],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={"PYTHONPATH": str(src), "PYTHONHASHSEED": hash_seed},
+    )
+    digests = {}
+    for line in out.stdout.strip().splitlines():
+        workload, policy, digest = line.split()
+        digests[(workload, policy)] = digest
+    return digests
+
+
+def test_tiered_reports_identical_across_hash_seeds():
+    here = _digests_here()
+    for hash_seed in ("0", "4242"):
+        assert _digests_in_child(hash_seed) == here
+
+
+def test_report_repr_covers_tier_metrics():
+    """The digest is only as strong as the repr: every tier counter
+    must appear in it, or the subprocess check can't see a drift."""
+    report = tiered_report(cached_trace("hp", EVENTS, 1), "correlated", 0.1)
+    text = repr(report)
+    for field in (
+        "tier_fast_hits",
+        "tier_slow_hits",
+        "tier_promotions",
+        "tier_co_promotions",
+        "tier_demotions",
+        "tier_hints_forwarded",
+    ):
+        assert field in text
+
+
+def test_report_invariant_under_shard_rebalance():
+    records = cached_trace("hp", EVENTS, 1)
+    config = SimulationConfig(
+        n_mds=4, cache_capacity=64, tiering="correlated", tier_fraction=0.1
+    )
+
+    def engine() -> ShardedFarmerPrefetcher:
+        eng = ShardedFarmerPrefetcher(
+            ShardedFarmer(farmer_config_for("hp", n_shards=4))
+        )
+        for record in records:  # pre-mine so the migration moves real state
+            eng.observe(record)
+        # freeze the mined state: the sim replays the records, and live
+        # echo delivery would (legitimately) differ across routings
+        eng.service.observe = lambda record: None
+        return eng
+
+    baseline = engine()
+    rebalanced = engine()
+    report = rebalanced.service.rebalance(policy="consistent_hash")
+    assert report.n_migrated > 0  # the migration must actually move fids
+
+    got = run_simulation(records, rebalanced, config)
+    want = run_simulation(records, baseline, config)
+    # the service's memory footprint legitimately changes when state
+    # migrates (halo leftovers, ring bookkeeping); every behavioural
+    # metric — placement, hits, latency, hint traffic — must not
+    assert replace(got, miner_memory_bytes=0) == replace(
+        want, miner_memory_bytes=0
+    )
